@@ -1,0 +1,101 @@
+"""Shared infrastructure for the per-figure/per-table benchmarks.
+
+Every benchmark runs its experiment exactly once (``benchmark.pedantic``
+with one round — these are minutes-scale experiments, not microbenchmarks),
+prints the paper-style table, and appends it to
+``benchmarks/results/<name>.txt`` so the regenerated numbers survive the
+pytest output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.io.batch import run_stream
+from repro.exceptions import UnsupportedDatasetError
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Paper headline: ordering of the eight MD datasets in every figure.
+MD_ORDER = (
+    "copper-a",
+    "copper-b",
+    "helium-a",
+    "helium-b",
+    "adk",
+    "ifabp",
+    "pt",
+    "lj",
+)
+
+#: The lossy compressor line-up of Figures 12/13/15.
+LOSSY_LINEUP = ("mdz", "sz2", "tng", "hrtc", "asn", "mdb", "lfzip")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def record(results_dir: Path, name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results."""
+    print(f"\n{text}\n")
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Run a minutes-scale experiment exactly once under the bench timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def dataset_stream(
+    name: str, axis: int | str = "x", snapshots: int | None = None
+) -> np.ndarray:
+    """One float32 coordinate-axis stream of a registry dataset."""
+    return load_dataset(name, snapshots=snapshots).axis(axis)
+
+
+def compression_ratios(
+    stream: np.ndarray,
+    compressors,
+    epsilon: float,
+    buffer_size: int,
+    original_atoms: int | None = None,
+) -> dict[str, float | None]:
+    """CR of each compressor on one stream; None marks excluded cases."""
+    out: dict[str, float | None] = {}
+    for name in compressors:
+        try:
+            decoded = run_stream(
+                name,
+                stream,
+                epsilon,
+                buffer_size,
+                original_atoms=original_atoms,
+            )
+            out[name] = decoded.result.compression_ratio
+        except UnsupportedDatasetError:
+            out[name] = None
+    return out
+
+
+def format_cr_table(
+    title: str,
+    rows: dict[str, dict[str, float | None]],
+    columns,
+) -> str:
+    """Dataset-by-compressor CR table in the paper's layout."""
+    header = f"{'dataset':12s}" + "".join(f"{c:>10s}" for c in columns)
+    lines = [title, header]
+    for dataset, crs in rows.items():
+        cells = "".join(
+            f"{crs[c]:10.2f}" if crs[c] is not None else f"{'N/A':>10s}"
+            for c in columns
+        )
+        lines.append(f"{dataset:12s}" + cells)
+    return "\n".join(lines)

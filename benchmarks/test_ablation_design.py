@@ -1,0 +1,118 @@
+"""Ablations of MDZ's design choices (beyond the paper's own tables).
+
+Two knobs the paper fixes by argument rather than by sweep:
+
+* **Adaptation interval** (Section VI-D fixes 50): trialling every buffer
+  maximizes tracking but pays ~3x compression work; trialling never risks
+  staying on a stale method.  The sweep shows the interval trading trial
+  overhead against compression ratio.
+* **Level-model caching** (Section VI-A computes the k-means fit once per
+  simulation): refitting per buffer multiplies compression time for no
+  ratio gain, which is exactly why the paper caches it.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import record, run_once
+from repro.baselines.api import SessionMeta
+from repro.cluster.level_detect import detect_levels
+from repro.core.config import MDZConfig
+from repro.core.mdz import MDZAxisCompressor
+from repro.datasets import load_dataset
+from repro.io.batch import stream_error_bound
+
+BS = 10
+EPSILON = 1e-3
+
+
+def _compress_stream(stream, config):
+    bound = stream_error_bound(stream, EPSILON)
+    session = MDZAxisCompressor(config)
+    session.begin(bound, SessionMeta(n_atoms=stream.shape[1]))
+    t0 = time.perf_counter()
+    total = sum(
+        len(session.compress_batch(stream[t : t + BS]))
+        for t in range(0, stream.shape[0], BS)
+    )
+    return total, time.perf_counter() - t0
+
+
+def run_interval_ablation():
+    stream = load_dataset("copper-b").axis("z").astype(np.float64)
+    rows = {}
+    for interval in (1, 5, 10, 50, 10_000):
+        config = MDZConfig(method="adp", adaptation_interval=interval)
+        size, seconds = _compress_stream(stream, config)
+        rows[interval] = (stream.size * 4 / size, seconds)
+    return rows
+
+
+def run_caching_ablation():
+    stream = load_dataset("copper-b", snapshots=200).axis("x").astype(
+        np.float64
+    )
+    # Cached (production) path: the session fits once.
+    cached_size, cached_seconds = _compress_stream(
+        stream, MDZConfig(method="vq")
+    )
+    # Ablated path: force a fresh fit per buffer by reusing the session but
+    # resetting its level model before every batch.
+    bound = stream_error_bound(stream, EPSILON)
+    session = MDZAxisCompressor(MDZConfig(method="vq"))
+    session.begin(bound, SessionMeta(n_atoms=stream.shape[1]))
+    t0 = time.perf_counter()
+    refit_size = 0
+    for t in range(0, stream.shape[0], BS):
+        session._state.levels.reset()
+        refit_size += len(session.compress_batch(stream[t : t + BS]))
+    refit_seconds = time.perf_counter() - t0
+    fit_seconds = _time_one_fit(stream[0])
+    return {
+        "cached": (stream.size * 4 / cached_size, cached_seconds),
+        "refit": (stream.size * 4 / refit_size, refit_seconds),
+        "single_fit_seconds": fit_seconds,
+    }
+
+
+def _time_one_fit(snapshot) -> float:
+    t0 = time.perf_counter()
+    detect_levels(snapshot, seed=0)
+    return time.perf_counter() - t0
+
+
+def test_ablation_adaptation_interval(benchmark, results_dir):
+    rows = run_once(benchmark, run_interval_ablation)
+    lines = [
+        "Ablation — ADP adaptation interval (Copper-B z, eps=1e-3, BS=10)",
+        f"{'interval':>9s} {'CR':>8s} {'seconds':>9s}",
+    ]
+    for interval, (cr, seconds) in rows.items():
+        label = "never" if interval >= 10_000 else str(interval)
+        lines.append(f"{label:>9s} {cr:8.2f} {seconds:9.2f}")
+    record(results_dir, "ablation_adaptation_interval", "\n".join(lines))
+    # Trialling every buffer costs real time over a sparse interval...
+    assert rows[1][1] > 1.3 * rows[50][1]
+    # ...and on regime-changing data, never re-trialling costs ratio
+    # relative to some periodic re-evaluation.
+    best_periodic_cr = max(rows[i][0] for i in (1, 5, 10, 50))
+    assert rows[10_000][0] <= best_periodic_cr * 1.001
+
+
+def test_ablation_level_model_caching(benchmark, results_dir):
+    result = run_once(benchmark, run_caching_ablation)
+    cached_cr, cached_s = result["cached"]
+    refit_cr, refit_s = result["refit"]
+    lines = [
+        "Ablation — level-model caching (Copper-B x, VQ, eps=1e-3, BS=10)",
+        f"{'variant':12s} {'CR':>8s} {'seconds':>9s}",
+        f"{'cached':12s} {cached_cr:8.2f} {cached_s:9.2f}",
+        f"{'refit/buffer':12s} {refit_cr:8.2f} {refit_s:9.2f}",
+        f"one k-means fit: {result['single_fit_seconds'] * 1e3:.0f} ms",
+    ]
+    record(results_dir, "ablation_level_caching", "\n".join(lines))
+    # Refitting per buffer costs materially more time...
+    assert refit_s > 1.5 * cached_s
+    # ...for essentially no compression-ratio gain (stable level pattern).
+    assert refit_cr <= cached_cr * 1.02

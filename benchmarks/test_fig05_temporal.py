@@ -1,0 +1,39 @@
+"""Figure 5: temporal correlations in atom position data.
+
+The paper identifies two classes: datasets whose values change relatively
+largely/frequently between saves (Copper-B, ADK, Helium-B) and datasets
+with very slight changes (Helium-A, Pt, LJ — Takeaway 4).  This benchmark
+computes the per-snapshot relative displacement for all six.
+"""
+
+import numpy as np
+
+from conftest import dataset_stream, record, run_once
+from repro.analysis.characterization import temporal_smoothness
+from repro.datasets.spec import DATASET_SPECS
+
+DATASETS = ("copper-b", "adk", "helium-a", "helium-b", "pt", "lj")
+
+
+def run_experiment():
+    rows = {}
+    for name in DATASETS:
+        stream = dataset_stream(name).astype(np.float64)
+        rows[name] = temporal_smoothness(stream)
+    return rows
+
+
+def test_fig05_temporal(benchmark, results_dir):
+    rows = run_once(benchmark, run_experiment)
+    lines = [
+        "Figure 5 — temporal correlation classes",
+        f"{'dataset':10s} {'rel-step':>10s} {'class':>8s} {'paper':>8s}",
+    ]
+    for name, ts in rows.items():
+        got = "smooth" if ts.smooth else "large"
+        want = DATASET_SPECS[name].temporal_class
+        lines.append(f"{name:10s} {ts.rel_step:10.2e} {got:>8s} {want:>8s}")
+    record(results_dir, "fig05_temporal", "\n".join(lines))
+    for name, ts in rows.items():
+        expected = DATASET_SPECS[name].temporal_class == "smooth"
+        assert ts.smooth == expected, name

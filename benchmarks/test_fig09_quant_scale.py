@@ -1,0 +1,71 @@
+"""Figure 9: compressor performance vs quantization scale (Helium-B).
+
+The paper sweeps the quantization scale from 64 to 65536 and shows the
+compression speed of VQ/VQT/MT dropping severely at large scales (bigger
+Huffman trees) while small scales hurt ratio (more out-of-scope points);
+1024 is the adopted sweet spot.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import dataset_stream, record, run_once
+from repro.baselines.api import SessionMeta
+from repro.core.config import MDZConfig
+from repro.core.mdz import MDZAxisCompressor
+from repro.io.batch import stream_error_bound
+
+SCALES = (64, 256, 1024, 4096, 16384, 65536)
+METHODS = ("vq", "vqt", "mt")
+EPSILON = 1e-3
+BS = 10
+
+
+def run_experiment():
+    stream = dataset_stream("helium-b", snapshots=300).astype(np.float64)
+    bound = stream_error_bound(stream, EPSILON)
+    mb = stream.size * 4 / 1e6
+    rows = {}
+    for scale in SCALES:
+        per_method = {}
+        for method in METHODS:
+            session = MDZAxisCompressor(
+                MDZConfig(method=method, quantization_scale=scale)
+            )
+            session.begin(bound, SessionMeta(n_atoms=stream.shape[1]))
+            t0 = time.perf_counter()
+            total = sum(
+                len(session.compress_batch(stream[t : t + BS]))
+                for t in range(0, stream.shape[0], BS)
+            )
+            elapsed = time.perf_counter() - t0
+            per_method[method] = (mb / elapsed, stream.size * 4 / total)
+        rows[scale] = per_method
+    return rows
+
+
+def test_fig09_quant_scale(benchmark, results_dir):
+    rows = run_once(benchmark, run_experiment)
+    lines = [
+        "Figure 9 — speed (MB/s) and CR vs quantization scale "
+        "(Helium-B, eps=1e-3, BS=10)",
+        f"{'scale':>7s}"
+        + "".join(f"{m + '-MB/s':>12s}{m + '-CR':>10s}" for m in METHODS),
+    ]
+    for scale, per_method in rows.items():
+        cells = "".join(
+            f"{per_method[m][0]:12.2f}{per_method[m][1]:10.2f}"
+            for m in METHODS
+        )
+        lines.append(f"{scale:7d}" + cells)
+    record(results_dir, "fig09_quant_scale", "\n".join(lines))
+    # The paper's shape, at this substrate's attenuated magnitude (see
+    # EXPERIMENTS.md): huge scales lose ratio and speed to the dense
+    # codebook, and the adopted default (1024) stays near the optimum on
+    # both axes.
+    for method in METHODS:
+        assert rows[1024][method][0] >= 0.9 * rows[65536][method][0], method
+        assert rows[65536][method][1] < rows[1024][method][1], method
+        best_cr = max(rows[s][method][1] for s in SCALES)
+        assert rows[1024][method][1] > 0.9 * best_cr, method

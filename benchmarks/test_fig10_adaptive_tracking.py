@@ -1,0 +1,89 @@
+"""Figure 10: ADP tracks the per-buffer best compressor over a long run.
+
+The paper's claim: data patterns are stable in the short term but change
+over a long simulation, so the best of VQ/VQT/MT flips at some point
+(Figure 10 (a): around snapshot 400 on Copper-B) and ADP follows the flip.
+
+On our Copper-B analog the z axis drifts after snapshot 400: before the
+drift the VQ-anchored buffer head (VQT) wins; after it, the collective
+offset makes the snapshot-0 reference prediction extremely cheap (a
+near-constant code per atom) while the level model degrades, so MT
+overtakes.  The winner's identity differs from the paper's panel (there MT
+led first), but the reproduced *claim* is the same: a method crossover in
+the long term, tracked by ADP within a few percent (see EXPERIMENTS.md).
+"""
+
+import numpy as np
+
+from conftest import record, run_once
+from repro.baselines.api import SessionMeta
+from repro.core.config import MDZConfig
+from repro.core.mdz import MDZAxisCompressor
+from repro.datasets import load_dataset
+from repro.io.batch import stream_error_bound
+
+BS = 10
+EPSILON = 1e-3
+# Re-evaluate every 10 buffers so the 56-buffer stream sees several trials
+# (the paper's interval of 50 operations serves runs of thousands).
+ADAPT_INTERVAL = 10
+
+
+def per_buffer_sizes(stream, method, interval=ADAPT_INTERVAL):
+    bound = stream_error_bound(stream, EPSILON)
+    config = MDZConfig(method=method, adaptation_interval=interval)
+    session = MDZAxisCompressor(config)
+    session.begin(bound, SessionMeta(n_atoms=stream.shape[1]))
+    sizes = [
+        len(session.compress_batch(stream[t : t + BS]))
+        for t in range(0, stream.shape[0], BS)
+    ]
+    return np.array(sizes), session.selection_history
+
+
+def run_experiment():
+    stream = load_dataset("copper-b").axis("z").astype(np.float64)
+    results = {}
+    history = None
+    for method in ("vq", "vqt", "mt", "adp"):
+        sizes, hist = per_buffer_sizes(stream, method)
+        results[method] = sizes
+        if method == "adp":
+            history = hist
+    return results, history
+
+
+def test_fig10_adaptive_tracking(benchmark, results_dir):
+    results, history = run_once(benchmark, run_experiment)
+    n_buffers = len(results["adp"])
+    switch_buffer = 400 // BS
+    before = slice(1, switch_buffer)
+    after = slice(switch_buffer + 2, n_buffers)
+    lines = ["Figure 10 — per-buffer compressed size (Copper-B, z axis)"]
+    lines.append(
+        f"{'phase':16s} {'vq':>9s} {'vqt':>9s} {'mt':>9s} {'adp':>9s}"
+    )
+    for label, sl in (("before switch", before), ("after switch", after)):
+        lines.append(
+            f"{label:16s} "
+            + " ".join(
+                f"{results[m][sl].mean():9.0f}"
+                for m in ("vq", "vqt", "mt", "adp")
+            )
+        )
+    lines.append(
+        "ADP selections: "
+        + ", ".join(f"buffer {r.buffer_index}->{r.chosen}" for r in history)
+    )
+    record(results_dir, "fig10_adaptive_tracking", "\n".join(lines))
+    # The crossover: different fixed methods win before vs after the
+    # regime change.
+    best_before = min(("vq", "vqt", "mt"), key=lambda m: results[m][before].mean())
+    best_after = min(("vq", "vqt", "mt"), key=lambda m: results[m][after].mean())
+    assert best_before != best_after, "no method crossover materialized"
+    # ADP stays within 10% of the best fixed method in both regimes (it
+    # may even beat them: its session reference benefits from the winning
+    # head of the first trial).
+    for sl in (before, after):
+        best = min(results[m][sl].mean() for m in ("vq", "vqt", "mt"))
+        assert results["adp"][sl].mean() <= 1.10 * best

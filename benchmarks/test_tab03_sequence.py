@@ -1,0 +1,66 @@
+"""Table III: Seq-1 vs Seq-2 quantization-code ordering (Helium-B, MT).
+
+The paper reports Seq-2 (particle-major) improving compression ratio by
+~38 % over Seq-1 (snapshot-major) on Helium-B at BS=10 across three
+value-range error bounds and all three axes.
+"""
+
+import numpy as np
+
+from conftest import record, run_once
+from repro.baselines.api import SessionMeta
+from repro.core.config import MDZConfig
+from repro.core.mdz import MDZAxisCompressor
+from repro.datasets import load_dataset
+from repro.io.batch import stream_error_bound
+
+EPSILONS = (1e-1, 5e-2, 1e-2)
+BS = 10
+
+
+def compress_total(stream, epsilon, sequence_mode):
+    bound = stream_error_bound(stream, epsilon)
+    session = MDZAxisCompressor(
+        MDZConfig(method="mt", sequence_mode=sequence_mode)
+    )
+    session.begin(bound, SessionMeta(n_atoms=stream.shape[1]))
+    return sum(
+        len(session.compress_batch(stream[t : t + BS]))
+        for t in range(0, stream.shape[0], BS)
+    )
+
+
+def run_experiment():
+    ds = load_dataset("helium-b")
+    rows = {}
+    for axis in ("x", "y", "z"):
+        stream = ds.axis(axis).astype(np.float64)
+        raw = stream.size * 4
+        for eps in EPSILONS:
+            seq1 = raw / compress_total(stream, eps, "seq1")
+            seq2 = raw / compress_total(stream, eps, "seq2")
+            rows[(axis, eps)] = (seq1, seq2)
+    return rows
+
+
+def test_tab03_sequence(benchmark, results_dir):
+    rows = run_once(benchmark, run_experiment)
+    lines = [
+        "Table III — CR of Helium-B with different sequence settings "
+        "(BS=10, method=MT)",
+        f"{'axis':4s} {'eps':>8s} {'Seq-1':>8s} {'Seq-2':>8s} {'gain':>7s}",
+    ]
+    for (axis, eps), (seq1, seq2) in rows.items():
+        lines.append(
+            f"{axis:4s} {eps:8.0e} {seq1:8.1f} {seq2:8.1f} "
+            f"{100 * (seq2 / seq1 - 1):+6.1f}%"
+        )
+    record(results_dir, "tab03_sequence", "\n".join(lines))
+    # Seq-2 wins wherever the quantization codes carry structure (at the
+    # coarsest bound nearly all codes are zero, so ordering is moot); the
+    # magnitude is attenuated vs the paper's +38 % because DEFLATE's 32 KB
+    # window already reaches across Helium-B's small snapshots — see
+    # EXPERIMENTS.md.
+    for (axis, eps), (seq1, seq2) in rows.items():
+        if eps <= 5e-2:
+            assert seq2 > seq1, (axis, eps)

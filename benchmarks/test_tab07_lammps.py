@@ -1,0 +1,59 @@
+"""Table VII: runtime breakdown of the LJ benchmark with/without MDZ.
+
+The paper runs the LAMMPS LJ benchmark at three scales and two dump
+frequencies, with the dump path optionally compressing in situ.  The
+reproduced claims: computation dominates the runtime, enabling MDZ leaves
+the total duration essentially unchanged, and at high dump rates MDZ
+*reduces* the output share (compressed writes beat raw writes).
+
+Scales and step counts are reduced to single-core Python reality; the
+PFS-bandwidth model preserves the paper's compression:I/O speed ratio
+(see repro.lammps.driver).
+"""
+
+from conftest import record, run_once
+from repro.lammps import format_breakdown_table, run_lj_benchmark
+
+#: (cells, steps): 500 / 1372 / 2916 atoms.
+SCALES = ((5, 240), (7, 240), (9, 160))
+DUMP_FREQUENCIES = (8, 80)
+
+
+def run_experiment():
+    results = []
+    for cells, steps in SCALES:
+        for freq in DUMP_FREQUENCIES:
+            for use_mdz in (False, True):
+                results.append(
+                    run_lj_benchmark(
+                        cells=cells,
+                        steps=steps,
+                        dump_every=freq,
+                        use_mdz=use_mdz,
+                        buffer_size=10,
+                        equilibration=30,
+                    )
+                )
+    return results
+
+
+def test_tab07_lammps(benchmark, results_dir):
+    results = run_once(benchmark, run_experiment)
+    record(results_dir, "tab07_lammps", format_breakdown_table(results))
+    by_key = {
+        (r.n_atoms, r.dump_every, r.use_mdz): r.row() for r in results
+    }
+    for (atoms, freq, mdz), row in by_key.items():
+        if not mdz:
+            continue
+        raw = by_key[(atoms, freq, False)]
+        # Total runtime stays comparable.  (Wall-clock on a shared single
+        # core is noisy; the generous factor guards the claim, not the
+        # noise.)
+        assert row["duration_s"] <= 1.8 * raw["duration_s"], (atoms, freq)
+        # At the high dump rate MDZ reduces the output share.
+        if freq == min(DUMP_FREQUENCIES):
+            assert row["output"] < raw["output"], (atoms, freq)
+        # Computation dominates in every configuration.
+        assert row["comp"] > 0.5, (atoms, freq)
+        assert row["output_cr"] > 2.0, (atoms, freq)

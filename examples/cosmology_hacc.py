@@ -1,0 +1,54 @@
+"""Beyond MD: compressing cosmological particle data (the Figure 16 story).
+
+MDZ targets particle data in general, not just molecular dynamics.  This
+example compresses the HACC-like structure-formation dataset with MDZ and
+the strongest baselines and prints the ratios, then peeks at *why* MDZ
+wins there: no level structure (the VQ fit degenerates to K = 1) but very
+smooth coherent motion, so the adaptive selector goes all-in on MT.
+
+Run:  python examples/cosmology_hacc.py
+"""
+
+import numpy as np
+
+from repro.cluster import detect_levels
+from repro.datasets import load_dataset
+from repro.io.batch import run_stream
+
+EPSILON = 1e-3
+BS = 10
+
+
+def main() -> None:
+    ds = load_dataset("hacc-1")
+    print(
+        f"dataset: {ds.name}, {ds.snapshots} snapshots x {ds.atoms} "
+        f"particles (paper scale: {ds.spec.paper_atoms:,} particles)"
+    )
+
+    # Why VQ won't fire: cosmological positions have no crystal levels.
+    fit = detect_levels(ds.axis("x")[0].astype(np.float64), seed=0)
+    print(
+        f"level detector on x axis: K = {fit.k} "
+        f"(no clustering structure -> VQ degenerates, MT takes over)"
+    )
+
+    for comp in ("mdz", "sz2", "asn", "lfzip", "mdb"):
+        total = 0
+        raw = 0
+        for axis in range(3):
+            stream = ds.axis(axis)
+            decoded = run_stream(
+                comp,
+                stream,
+                EPSILON,
+                BS,
+                original_atoms=ds.spec.paper_atoms,
+            )
+            total += decoded.result.compressed_bytes
+            raw += decoded.result.raw_bytes
+        print(f"{comp:6s} CR = {raw / total:6.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Quickstart: compress an MD trajectory with MDZ in five lines.
+
+Generates a small copper-like crystal trajectory, compresses it with the
+default adaptive configuration (value-range error bound 1e-3, buffer size
+10), verifies the error bound, and demonstrates random access to a single
+buffer.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import MDZ, MDZConfig
+from repro.md import EinsteinCrystalModel, fcc_lattice
+
+
+def main() -> None:
+    # 1. A data source: 2048-atom copper crystal vibrating at finite
+    #    temperature, saved 60 times (see repro.md for real MD engines).
+    lattice = fcc_lattice((8, 8, 8), a=3.615)
+    model = EinsteinCrystalModel(
+        sites=lattice.positions, amplitude=0.06, correlation=0.5
+    )
+    positions = model.generate(60, np.random.default_rng(7)).astype(
+        np.float32
+    )
+    raw_bytes = positions.nbytes
+    print(f"trajectory: {positions.shape}, {raw_bytes / 1e6:.1f} MB raw")
+
+    # 2. Compress.  MDZConfig mirrors the paper's defaults: epsilon = 1e-3
+    #    relative to each axis's value range, buffers of 10 snapshots,
+    #    quantization scale 1024, Seq-2 ordering, adaptive method choice.
+    config = MDZConfig(error_bound=1e-3, buffer_size=10)
+    mdz = MDZ(config)
+    blob = mdz.compress(positions)
+    print(
+        f"compressed: {len(blob) / 1e3:.1f} KB  "
+        f"(CR = {raw_bytes / len(blob):.1f}x)"
+    )
+
+    # 3. Decompress and verify the error bound per axis.
+    restored = mdz.decompress(blob)
+    for axis, name in enumerate("xyz"):
+        stream = positions[:, :, axis].astype(np.float64)
+        bound = config.error_bound * (stream.max() - stream.min())
+        err = np.abs(restored[:, :, axis] - stream).max()
+        print(f"axis {name}: max error {err:.2e} <= bound {bound:.2e}")
+        assert err <= bound * (1 + 1e-9)
+
+    # 4. Random access: decode only the fourth buffer (snapshots 30-39).
+    buffer_3 = mdz.decompress_batch(blob, 3)
+    assert np.array_equal(buffer_3, restored[30:40])
+    print(f"random access: buffer 3 decoded alone, shape {buffer_3.shape}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Physical fidelity: the radial distribution function after compression.
+
+Reproduces the Figure 14 analysis at example scale: compress the Copper-B
+analog with MDZ and with SZ2 at bounds calibrated to the same compression
+ratio, then compare each reconstruction's RDF against the original.  MDZ's
+RDF overlays the truth; the baseline's peaks smear.
+
+Run:  python examples/rdf_fidelity.py
+"""
+
+import numpy as np
+
+from repro.analysis.ratedistortion import calibrate_epsilon_for_cr
+from repro.analysis.rdf import radial_distribution, rdf_deviation
+from repro.datasets import load_dataset
+from repro.io.batch import run_stream
+
+TARGET_CR = 10.0
+BS = 10
+SNAPSHOTS = 60
+
+
+def main() -> None:
+    ds = load_dataset("copper-b", snapshots=SNAPSHOTS)
+    r, g_ref = radial_distribution(
+        ds.positions[-1].astype(np.float64), ds.box
+    )
+    peak = r[np.argmax(g_ref)]
+    print(
+        f"original RDF: first peak at r = {peak:.2f} A "
+        f"(fcc nearest neighbour = {3.615 / np.sqrt(2):.2f} A)"
+    )
+    for comp in ("mdz", "sz2"):
+        recon = np.empty((SNAPSHOTS, ds.atoms, 3))
+        for axis in range(3):
+            stream = ds.axis(axis)
+            eps, achieved = calibrate_epsilon_for_cr(
+                comp, stream, TARGET_CR, buffer_size=BS
+            )
+            decoded = run_stream(comp, stream, eps, BS, decompress=True)
+            recon[:, :, axis] = decoded.reconstruction
+        _, g_test = radial_distribution(recon[-1], ds.box)
+        dev = rdf_deviation(g_ref, g_test)
+        print(
+            f"{comp:4s} @ CR {achieved:5.1f}: RDF RMS deviation = {dev:.4f} "
+            f"(peak height {g_test.max():.1f} vs original {g_ref.max():.1f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

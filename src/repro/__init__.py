@@ -1,0 +1,61 @@
+"""MDZ: an efficient error-bounded lossy compressor for molecular dynamics.
+
+A from-scratch Python reproduction of *MDZ* (Zhao, Di, Perez, Liang, Chen,
+Cappello — ICDE 2022), including the SZ compression substrate, the optimal
+1-D k-means level detector, every lossy/lossless baseline of the paper's
+evaluation, an MD simulation engine used as the data source, synthetic
+analogs of the paper's datasets, and the analysis toolkit (rate-distortion,
+RDF, similarity).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import MDZ, MDZConfig
+>>> positions = np.random.default_rng(0).normal(size=(20, 100, 3))
+>>> mdz = MDZ(MDZConfig(error_bound=1e-3, buffer_size=10))
+>>> blob = mdz.compress(positions)
+>>> restored = mdz.decompress(blob)
+>>> bound = mdz.config.error_bound * float(positions.max() - positions.min())
+>>> bool(np.abs(restored - positions).max() <= bound)
+True
+"""
+
+from .baselines import (
+    Compressor,
+    SessionMeta,
+    available_compressors,
+    create_compressor,
+)
+from .core import MDZ, MDZAxisCompressor, MDZConfig
+from .exceptions import (
+    CompressionError,
+    ConfigurationError,
+    ContainerFormatError,
+    DecompressionError,
+    ReproError,
+    SimulationError,
+    UnsupportedDatasetError,
+)
+from .io.batch import run_stream, stream_error_bound
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Compressor",
+    "CompressionError",
+    "ConfigurationError",
+    "ContainerFormatError",
+    "DecompressionError",
+    "MDZ",
+    "MDZAxisCompressor",
+    "MDZConfig",
+    "ReproError",
+    "SessionMeta",
+    "SimulationError",
+    "UnsupportedDatasetError",
+    "available_compressors",
+    "create_compressor",
+    "run_stream",
+    "stream_error_bound",
+    "__version__",
+]

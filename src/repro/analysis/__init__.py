@@ -1,0 +1,54 @@
+"""Analysis toolkit: the metrics of Section VII.
+
+* :mod:`repro.analysis.metrics` — CR, bit rate, PSNR, MaxError, NRMSE;
+* :mod:`repro.analysis.similarity` — Formula (2), snapshot-0 similarity
+  (Figure 8);
+* :mod:`repro.analysis.rdf` — radial distribution function g(r) under
+  periodic boundaries (Figure 14);
+* :mod:`repro.analysis.characterization` — the spatial/temporal feature
+  statistics behind Figures 3-5 and the four takeaways;
+* :mod:`repro.analysis.ratedistortion` — bit-rate/PSNR sweeps (Figure 13)
+  and CR-targeted error-bound calibration (Table VI / Figure 14).
+"""
+
+from .metrics import (
+    bit_rate,
+    compression_ratio,
+    max_error,
+    nrmse,
+    psnr,
+)
+from .rdf import radial_distribution
+from .similarity import snapshot_similarity, similarity_profile
+from .characterization import (
+    histogram_peaks,
+    spatial_profile,
+    temporal_smoothness,
+)
+from .ratedistortion import calibrate_epsilon_for_cr, rate_distortion_sweep
+from .statistics import (
+    diffusion_coefficient,
+    displacement_histogram,
+    mean_squared_displacement,
+    velocity_autocorrelation,
+)
+
+__all__ = [
+    "bit_rate",
+    "calibrate_epsilon_for_cr",
+    "compression_ratio",
+    "diffusion_coefficient",
+    "displacement_histogram",
+    "histogram_peaks",
+    "max_error",
+    "mean_squared_displacement",
+    "nrmse",
+    "psnr",
+    "radial_distribution",
+    "rate_distortion_sweep",
+    "similarity_profile",
+    "snapshot_similarity",
+    "spatial_profile",
+    "velocity_autocorrelation",
+    "temporal_smoothness",
+]

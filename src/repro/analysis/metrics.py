@@ -1,0 +1,69 @@
+"""Compression-quality metrics (Section VII-C).
+
+Definitions follow the paper exactly:
+
+* **compression ratio** — raw bytes over compressed bytes;
+* **bit rate** — average compressed bits per data point;
+* **PSNR** — peak signal-to-noise ratio, ``20 log10(range) - 10 log10(MSE)``;
+* **MaxError** — the largest absolute point-wise deviation;
+* **NRMSE** — root-mean-square error normalized by the value range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def compression_ratio(raw_bytes: int, compressed_bytes: int) -> float:
+    """Raw size over compressed size."""
+    if compressed_bytes <= 0:
+        raise ValueError("compressed size must be positive")
+    return raw_bytes / compressed_bytes
+
+
+def bit_rate(compressed_bytes: int, n_points: int) -> float:
+    """Average compressed bits per data point."""
+    if n_points <= 0:
+        raise ValueError("point count must be positive")
+    return 8.0 * compressed_bytes / n_points
+
+
+def max_error(original: np.ndarray, decompressed: np.ndarray) -> float:
+    """Largest absolute point-wise error."""
+    original = np.asarray(original, dtype=np.float64)
+    decompressed = np.asarray(decompressed, dtype=np.float64)
+    _check_shapes(original, decompressed)
+    return float(np.max(np.abs(original - decompressed)))
+
+
+def nrmse(original: np.ndarray, decompressed: np.ndarray) -> float:
+    """Root-mean-square error normalized by the value range."""
+    original = np.asarray(original, dtype=np.float64)
+    decompressed = np.asarray(decompressed, dtype=np.float64)
+    _check_shapes(original, decompressed)
+    value_range = float(original.max() - original.min())
+    rmse = float(np.sqrt(np.mean((original - decompressed) ** 2)))
+    if value_range == 0.0:
+        return 0.0 if rmse == 0.0 else np.inf
+    return rmse / value_range
+
+
+def psnr(original: np.ndarray, decompressed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (higher is better)."""
+    original = np.asarray(original, dtype=np.float64)
+    decompressed = np.asarray(decompressed, dtype=np.float64)
+    _check_shapes(original, decompressed)
+    value_range = float(original.max() - original.min())
+    mse = float(np.mean((original - decompressed) ** 2))
+    if mse == 0.0:
+        return np.inf
+    if value_range == 0.0:
+        return -np.inf
+    return 20.0 * np.log10(value_range) - 10.0 * np.log10(mse)
+
+
+def _check_shapes(a: np.ndarray, b: np.ndarray) -> None:
+    if a.shape != b.shape:
+        raise ValueError(
+            f"shape mismatch: original {a.shape} vs decompressed {b.shape}"
+        )

@@ -1,0 +1,125 @@
+"""Rate-distortion harness (Figure 13) and CR-targeted calibration.
+
+Two tools:
+
+* :func:`rate_distortion_sweep` — run one compressor over a range of
+  value-range-relative error bounds, collecting (bit rate, PSNR) pairs;
+* :func:`calibrate_epsilon_for_cr` — bisection on the error bound to reach
+  a target compression ratio, used by the Table VI / Figure 14 experiments
+  ("CR = 10").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..io.batch import run_stream
+from .metrics import bit_rate, psnr
+
+#: Default epsilon grid of the Figure 13 sweeps.
+DEFAULT_EPSILONS = (1e-2, 5e-3, 2e-3, 1e-3, 5e-4, 2e-4)
+
+
+@dataclass
+class RateDistortionPoint:
+    """One (epsilon, bit rate, PSNR, CR) sample."""
+
+    epsilon: float
+    bit_rate: float
+    psnr: float
+    compression_ratio: float
+
+
+@dataclass
+class RateDistortionCurve:
+    """A compressor's rate-distortion samples on one stream."""
+
+    compressor: str
+    points: list[RateDistortionPoint] = field(default_factory=list)
+
+
+def rate_distortion_sweep(
+    compressor_name: str,
+    stream: np.ndarray,
+    buffer_size: int = 10,
+    epsilons: tuple[float, ...] = DEFAULT_EPSILONS,
+    original_atoms: int | None = None,
+) -> RateDistortionCurve:
+    """Collect the (bit rate, PSNR) curve of one compressor (Figure 13)."""
+    stream = np.asarray(stream)
+    curve = RateDistortionCurve(compressor=compressor_name)
+    for eps in epsilons:
+        decoded = run_stream(
+            compressor_name,
+            stream,
+            eps,
+            buffer_size,
+            decompress=True,
+            original_atoms=original_atoms,
+        )
+        curve.points.append(
+            RateDistortionPoint(
+                epsilon=eps,
+                bit_rate=bit_rate(
+                    decoded.result.compressed_bytes, stream.size
+                ),
+                psnr=psnr(
+                    stream.astype(np.float64), decoded.reconstruction
+                ),
+                compression_ratio=decoded.result.compression_ratio,
+            )
+        )
+    return curve
+
+
+def calibrate_epsilon_for_cr(
+    compressor_name: str,
+    stream: np.ndarray,
+    target_cr: float,
+    buffer_size: int = 10,
+    original_atoms: int | None = None,
+    tolerance: float = 0.05,
+    max_iter: int = 18,
+    eps_range: tuple[float, float] = (1e-7, 0.2),
+) -> tuple[float, float]:
+    """Find the epsilon that achieves ``target_cr`` (within ``tolerance``).
+
+    Returns ``(epsilon, achieved_cr)``.  CR is monotone in epsilon for all
+    compressors here, so a log-space bisection converges quickly.  Raises
+    ``ValueError`` when the target is unreachable inside ``eps_range`` —
+    this is exactly how the paper's "MDB could not achieve a compression
+    ratio of 10" exclusion materializes.
+    """
+    lo, hi = eps_range
+
+    def cr_at(eps: float) -> float:
+        decoded = run_stream(
+            compressor_name,
+            stream,
+            eps,
+            buffer_size,
+            original_atoms=original_atoms,
+        )
+        return decoded.result.compression_ratio
+
+    cr_hi = cr_at(hi)
+    if cr_hi < target_cr:
+        raise ValueError(
+            f"{compressor_name} cannot reach CR {target_cr} "
+            f"(max {cr_hi:.2f} at eps={hi})"
+        )
+    cr_lo = cr_at(lo)
+    if cr_lo >= target_cr:
+        return lo, cr_lo
+    for _ in range(max_iter):
+        mid = float(np.sqrt(lo * hi))
+        cr_mid = cr_at(mid)
+        if abs(cr_mid - target_cr) / target_cr <= tolerance:
+            return mid, cr_mid
+        if cr_mid < target_cr:
+            lo = mid
+        else:
+            hi = mid
+    return mid, cr_mid

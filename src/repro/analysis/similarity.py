@@ -1,0 +1,46 @@
+"""Snapshot similarity to the initial snapshot (Formula (2), Figure 8).
+
+``Similarity(tau, i)`` is the fraction of atoms whose coordinate changed by
+less than the relative threshold ``tau`` between snapshot ``i`` and
+snapshot 0 — the statistic motivating MT's initial-time-based prediction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def snapshot_similarity(
+    snapshot: np.ndarray, reference: np.ndarray, tau: float
+) -> float:
+    """Formula (2) for one snapshot against the reference (snapshot 0)."""
+    snapshot = np.asarray(snapshot, dtype=np.float64).ravel()
+    reference = np.asarray(reference, dtype=np.float64).ravel()
+    if snapshot.shape != reference.shape:
+        raise ValueError(
+            f"shape mismatch: {snapshot.shape} vs {reference.shape}"
+        )
+    denom = np.where(np.abs(snapshot) > 0, np.abs(snapshot), 1.0)
+    rel = np.abs(snapshot - reference) / denom
+    return float(np.mean(rel < tau))
+
+
+def similarity_profile(
+    stream: np.ndarray, tau: float, max_points: int = 101
+) -> tuple[np.ndarray, np.ndarray]:
+    """Similarity of every snapshot to snapshot 0 (the Figure 8 series).
+
+    Returns ``(normalized_index, similarity)`` with the snapshot axis
+    normalized to 0-100 as in the figure; at most ``max_points`` snapshots
+    are evaluated (evenly spaced).
+    """
+    stream = np.asarray(stream, dtype=np.float64)
+    t_count = stream.shape[0]
+    picks = np.unique(
+        np.linspace(0, t_count - 1, min(max_points, t_count)).astype(int)
+    )
+    sims = np.array(
+        [snapshot_similarity(stream[t], stream[0], tau) for t in picks]
+    )
+    norm = picks / max(t_count - 1, 1) * 100.0
+    return norm, sims

@@ -1,0 +1,37 @@
+"""Reimplementations of every baseline the paper evaluates against.
+
+Lossy (Section VII-A4): SZ2 (in :mod:`repro.sz.sz2`), TNG, HRTC, ASN,
+MDB (ModelarDB's compression core), LFZip, and a ZFP-style transform coder.
+Lossless (Section VII-A3): Zstd*/Zlib/Brotli* dictionary coders, FPC,
+fpzip-like, and ZFP's lossless mode (* = stand-in backend, see DESIGN.md).
+
+All compressors implement the session API of :mod:`repro.baselines.api` so
+the benchmark harness can drive them interchangeably.
+"""
+
+from .api import (
+    Compressor,
+    SessionMeta,
+    available_compressors,
+    create_compressor,
+    register_compressor,
+)
+
+# Importing the concrete modules populates the registry.
+from . import lossless_std  # noqa: F401  (registration side effect)
+from . import fpc  # noqa: F401
+from . import fpzip_like  # noqa: F401
+from . import zfp_like  # noqa: F401
+from . import tng  # noqa: F401
+from . import hrtc  # noqa: F401
+from . import asn  # noqa: F401
+from . import mdb  # noqa: F401
+from . import lfzip  # noqa: F401
+
+__all__ = [
+    "Compressor",
+    "SessionMeta",
+    "available_compressors",
+    "create_compressor",
+    "register_compressor",
+]

@@ -1,0 +1,168 @@
+"""Session-oriented compressor interface shared by MDZ and all baselines.
+
+The paper's problem formulation (Section IV) fixes the execution shape for
+every compressor under test: an MD run produces snapshots of one coordinate
+axis; snapshots are buffered and compressed *in batches* of ``BS`` snapshots
+(buffer size), and batches must decompress in order without needing the
+whole dataset.  The :class:`Compressor` interface encodes exactly that:
+
+* :meth:`Compressor.begin` opens a session for one ``(dataset, axis)``
+  stream — compressors reset any cross-batch state (level models, reference
+  snapshots, adaptive choices) here;
+* :meth:`Compressor.compress_batch` consumes the next ``(B, N)`` batch and
+  returns a self-contained blob;
+* :meth:`Compressor.decompress_batch` consumes blobs in the same order.
+
+Lossless compressors ignore the error bound.  Compressors with dataset
+limitations (TNG, HRTC) veto unsupported datasets in
+:meth:`Compressor.check_supported`, reproducing the paper's excluded cases
+(Section VII-A5).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import CompressionError
+
+
+@dataclass(frozen=True)
+class SessionMeta:
+    """Static description of the stream a compression session will see.
+
+    Attributes
+    ----------
+    n_atoms:
+        Number of particles per snapshot actually fed to the compressor.
+    original_atoms:
+        The paper-scale atom count of the dataset this stream was scaled
+        down from; capability checks (TNG/HRTC limits) use this value so the
+        excluded-cases behaviour of Section VII-A5 is reproduced even on
+        scaled data.  Defaults to ``n_atoms``.
+    value_range:
+        Max minus min over the stream, used by compressors that need a
+        range-relative setting internally.
+    label:
+        Free-form identifier for diagnostics (dataset/axis name).
+    """
+
+    n_atoms: int
+    original_atoms: int | None = None
+    value_range: float = 0.0
+    label: str = ""
+
+    @property
+    def effective_original_atoms(self) -> int:
+        """Original atom count, falling back to the stream's own count."""
+        return self.original_atoms if self.original_atoms else self.n_atoms
+
+
+class Compressor(ABC):
+    """One compression session over an ordered stream of (B, N) batches."""
+
+    #: Registry/reporting name, e.g. ``"sz2"`` or ``"mdz"``.
+    name: str = "abstract"
+    #: True for compressors that reproduce inputs bit-exactly.
+    is_lossless: bool = False
+    #: True when any single snapshot can be decoded without its siblings
+    #: (the VQ property highlighted in Section VI).
+    supports_random_access: bool = False
+
+    def check_supported(self, meta: SessionMeta) -> None:
+        """Raise :class:`UnsupportedDatasetError` for datasets this
+        compressor cannot handle.  The default accepts everything."""
+
+    def begin(self, error_bound: float | None, meta: SessionMeta) -> None:
+        """Open a session.  ``error_bound`` is the *absolute* bound.
+
+        Lossless compressors receive ``None``.  Implementations must reset
+        all cross-batch state here.
+        """
+        self.check_supported(meta)
+        if not self.is_lossless:
+            if error_bound is None or error_bound <= 0:
+                raise CompressionError(
+                    f"{self.name}: lossy compression requires a positive "
+                    f"error bound, got {error_bound}"
+                )
+        self._meta = meta
+        self._error_bound = error_bound
+
+    @abstractmethod
+    def compress_batch(self, batch: np.ndarray) -> bytes:
+        """Compress the next batch of snapshots (shape ``(B, N)``)."""
+
+    @abstractmethod
+    def decompress_batch(self, blob: bytes) -> np.ndarray:
+        """Decompress the next blob, in compression order."""
+
+    # -- convenience ----------------------------------------------------
+
+    @property
+    def meta(self) -> SessionMeta:
+        """Session metadata (valid after :meth:`begin`)."""
+        return self._meta
+
+    @property
+    def error_bound(self) -> float | None:
+        """Absolute error bound of the session (None for lossless)."""
+        return self._error_bound
+
+    @staticmethod
+    def as_batch(batch: np.ndarray) -> np.ndarray:
+        """Validate/convert a batch to a 2-D float64 array."""
+        arr = np.asarray(batch, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        if arr.ndim != 2:
+            raise CompressionError(
+                f"batches must be (snapshots, atoms) arrays, got shape "
+                f"{np.shape(batch)}"
+            )
+        return arr
+
+
+_REGISTRY: dict[str, Callable[[], Compressor]] = {}
+
+
+def register_compressor(name: str, factory: Callable[[], Compressor]) -> None:
+    """Register a compressor factory under ``name`` (used by benchmarks)."""
+    if name in _REGISTRY:
+        raise ValueError(f"compressor {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def available_compressors() -> list[str]:
+    """Sorted names of every registered compressor."""
+    return sorted(_REGISTRY)
+
+
+def create_compressor(name: str) -> Compressor:
+    """Instantiate a registered compressor by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown compressor {name!r}; known: {available_compressors()}"
+        ) from None
+    return factory()
+
+
+@dataclass
+class StreamResult:
+    """Outcome of compressing one full (dataset, axis) stream."""
+
+    compressed_bytes: int
+    raw_bytes: int
+    compress_seconds: float
+    decompress_seconds: float = 0.0
+    blobs: list[bytes] = field(default_factory=list)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Raw size over compressed size."""
+        return self.raw_bytes / max(self.compressed_bytes, 1)

@@ -1,0 +1,184 @@
+"""ASN baseline: adjacent-snapshot prediction for N-body data (Li et al.).
+
+"Optimizing lossy compression with adjacent snapshots for N-body simulation
+data" [Li et al., IEEE Big Data 2018] predicts positions along the time
+dimension, using the motion between adjacent snapshots (equivalently the
+velocity field) to extrapolate the next position.  Our implementation uses
+the grid-anchored linear extrapolation
+
+    pred(t) = 2 * recon(t-1) - recon(t-2)
+
+which is exactly the velocity-assisted predictor for evenly-saved
+snapshots, followed by SZ-style quantization, Huffman coding, and DEFLATE.
+
+The paper's critique (Sections I and II) — that MD atoms vibrate around
+equilibrium so velocities are only predictive for a fraction of a
+vibrational period — shows up directly: on vibration-dominated datasets the
+extrapolation *doubles* the effective noise and ASN loses to plain
+time-based prediction, while on drift-dominated cosmology data (HACC) it
+performs well.
+
+Cross-batch state (the last two reconstructed snapshots) is carried so the
+predictor never restarts mid-stream; the first snapshot of a session is
+coded with intra-snapshot Lorenzo prediction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..serde import BlobReader, BlobWriter
+from ..sz.lossless import lossless_compress, lossless_decompress
+from ..sz.pipeline import decode_int_stream, encode_int_stream
+from ..sz.predictors import lorenzo_1d_codes, lorenzo_1d_reconstruct
+from ..sz.quantizer import DEFAULT_SCALE, LinearQuantizer
+from .api import Compressor, SessionMeta, register_compressor
+
+
+class ASNCompressor(Compressor):
+    """Velocity-extrapolation (adjacent-snapshot) lossy compressor."""
+
+    name = "asn"
+    is_lossless = False
+
+    def __init__(self, scale: int = DEFAULT_SCALE) -> None:
+        self.scale = scale
+        self._history: list[np.ndarray] = []
+        self._dec_history: list[np.ndarray] = []
+
+    def begin(self, error_bound: float | None, meta: SessionMeta) -> None:
+        super().begin(error_bound, meta)
+        self._history = []
+        self._dec_history = []
+
+    def compress_batch(self, batch: np.ndarray) -> bytes:
+        batch = self.as_batch(batch)
+        quantizer = LinearQuantizer(self.error_bound, self.scale)
+        writer = BlobWriter()
+        writer.write_json(
+            {
+                "shape": list(batch.shape),
+                "eb": self.error_bound,
+                "scale": self.scale,
+                "history": len(self._history),
+            }
+        )
+        start = 0
+        if not self._history:
+            anchor = float(batch[0, 0])
+            block = lorenzo_1d_codes(batch[0], quantizer, anchor)
+            writer.write_json({"anchor": anchor})
+            writer.write_bytes(encode_int_stream(block))
+            recon0 = lorenzo_1d_reconstruct(block, quantizer, anchor)
+            self._history = [recon0]
+            start = 1
+        if start < batch.shape[0]:
+            codes, recon = self._extrapolation_codes(
+                batch[start:], quantizer
+            )
+            writer.write_bytes(encode_int_stream(codes))
+            self._history = [r for r in recon[-2:]]
+        self._history = self._history[-2:]
+        return lossless_compress(writer.getvalue())
+
+    def decompress_batch(self, blob: bytes) -> np.ndarray:
+        reader = BlobReader(lossless_decompress(blob))
+        meta = reader.read_json()
+        shape = tuple(int(x) for x in meta["shape"])
+        quantizer = LinearQuantizer(float(meta["eb"]), int(meta["scale"]))
+        out = np.empty(shape, dtype=np.float64)
+        start = 0
+        if int(meta["history"]) == 0:
+            head = reader.read_json()
+            block = decode_int_stream(reader.read_bytes())
+            out[0] = lorenzo_1d_reconstruct(
+                block, quantizer, float(head["anchor"])
+            )
+            self._dec_history = [out[0]]
+            start = 1
+        if start < shape[0]:
+            block = decode_int_stream(reader.read_bytes())
+            rest = self._extrapolation_reconstruct(block, quantizer)
+            out[start:] = rest
+            self._dec_history = [r for r in rest[-2:]]
+        self._dec_history = self._dec_history[-2:]
+        return out
+
+    # -- internals ------------------------------------------------------
+
+    def _extrapolation_codes(self, frames, quantizer):
+        """Grid-anchored codes for pred = 2*r(t-1) - r(t-2).
+
+        All frames share the anchor ``base`` (the last reconstructed
+        snapshot): with levels ``s_t = round((d_t - base)/w)`` the
+        reconstruction is ``base + w*s_t`` and the extrapolation code is
+        the second difference of the level sequence, seeded with the level
+        of the pre-batch history.
+        """
+        base = self._history[-1]
+        if len(self._history) >= 2:
+            prev_level = quantizer.grid_levels(self._history[-2], base)
+        else:
+            prev_level = np.zeros(base.shape, dtype=np.int64)
+        s = quantizer.grid_levels(frames, base[None, :])
+        # level sequence including history: prev_level, 0 (= base), s...
+        full = np.vstack([prev_level[None, :], np.zeros((1, base.size), np.int64), s])
+        codes = full[2:] - 2 * full[1:-1] + full[:-2]
+        block = quantizer.split(codes, s, order="F")
+        levels = self._levels_from_codes(block, prev_level, quantizer)
+        recon = quantizer.dequantize_levels(levels, base[None, :])
+        return block, recon
+
+    def _extrapolation_reconstruct(self, block, quantizer):
+        base = self._dec_history[-1]
+        if len(self._dec_history) >= 2:
+            prev_level = quantizer.grid_levels(self._dec_history[-2], base)
+        else:
+            prev_level = np.zeros(base.shape, dtype=np.int64)
+        levels = self._levels_from_codes(block, prev_level, quantizer)
+        return quantizer.dequantize_levels(levels, base[None, :])
+
+    @staticmethod
+    def _levels_from_codes(block, prev_level, quantizer):
+        """Invert the second-difference coding (with out-of-scope resets).
+
+        The second difference of levels is a double integration; resets
+        (marker positions) splice in the stored absolute level.  Because
+        out-of-scope points are rare, they are fixed sequentially per
+        column in time order.
+        """
+        codes = block.codes
+        t_count, n = codes.shape
+        mask = codes == block.marker
+        plain = np.where(mask, 0, codes)
+        levels = np.empty((t_count, n), dtype=np.int64)
+        prev2 = prev_level  # level of t-2 (relative to base)
+        prev1 = np.zeros(n, dtype=np.int64)  # base itself is level 0
+        if not mask.any():
+            for t in range(t_count):
+                cur = plain[t] + 2 * prev1 - prev2
+                levels[t] = cur
+                prev2, prev1 = prev1, cur
+            return levels
+        # Slow path with resets: substitute stored absolutes at markers.
+        # wide is stored in Fortran order (column-major over (T, N)), so
+        # grouping by column preserves each atom's time order.
+        wide_cols: dict[int, list[int]] = {}
+        cols, _rows = np.nonzero(mask.T)
+        for c, value in zip(cols, block.wide.tolist()):
+            wide_cols.setdefault(int(c), []).append(value)
+        pointers = {c: 0 for c in wide_cols}
+        for t in range(t_count):
+            cur = plain[t] + 2 * prev1 - prev2
+            row_mask = mask[t]
+            if row_mask.any():
+                for j in np.nonzero(row_mask)[0]:
+                    j = int(j)
+                    cur[j] = wide_cols[j][pointers[j]]
+                    pointers[j] += 1
+            levels[t] = cur
+            prev2, prev1 = prev1, cur
+        return levels
+
+
+register_compressor("asn", ASNCompressor)

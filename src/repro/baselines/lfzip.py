@@ -1,0 +1,193 @@
+"""LFZip baseline: NLMS-predictive lossy time-series compression.
+
+LFZip [Chandak et al., DCC 2020] compresses multivariate floating-point
+time series with a normalized least-mean-squares (NLMS) adaptive linear
+filter: each sample is predicted from the last ``M`` *reconstructed*
+samples, the residual is uniformly quantized under the error bound, and
+the quantization indexes are entropy coded.  The paper evaluates the NLMS
+variant and skips the neural-network predictor (2000x slower); we do the
+same.
+
+Our implementation treats each atom's coordinate trajectory as one series
+and runs the filter bank vectorized across atoms: the time recursion is
+sequential (the filter adapts on reconstructed values), but each step is a
+numpy operation over all atoms — mirroring how LFZip batches variables.
+Exactly as in the original, the quantization indexes are written as raw
+16-bit words and handed to a BWT-family coder (BZ2 standing in for BSC) —
+LFZip has no Huffman stage of its own.
+
+Because the filter must see *reconstructed* history, the decoder replays
+the identical recursion; encode and decode are therefore equally expensive.
+LFZip additionally stages its quantized streams through intermediate files
+(the reference implementation shells out to the BSC binary per variable),
+which the paper singles out as the reason it is the slowest compressor in
+Figure 15; we reproduce that staging — each batch's code stream makes a
+round trip through a synced temporary file.
+
+LFZip is a standalone file compressor: the paper's buffer-based evaluation
+hands it each buffer as an independent input, so the NLMS filter cold-starts
+per buffer.  We reproduce that by resetting the filter bank on every batch.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import numpy as np
+
+from ..serde import BlobReader, BlobWriter
+from ..sz.bitio import decode_varints, encode_varints, zigzag_decode, zigzag_encode
+from ..sz.lossless import lossless_compress, lossless_decompress
+from .api import Compressor, SessionMeta, register_compressor
+
+#: NLMS filter order (LFZip default is 32; 8 captures MD trajectories'
+#: short coherence time at a fraction of the cost).
+FILTER_ORDER = 8
+#: NLMS step size.
+MU = 0.5
+#: Regularizer in the normalized update.
+EPS = 1e-6
+#: Quantization-index range (residuals beyond it are stored verbatim).
+_RADIUS = 1 << 15
+#: Reserved 16-bit marker for out-of-range residuals.
+_MARKER = _RADIUS - 1
+
+
+def _disk_round_trip(payload: bytes) -> bytes:
+    """Write ``payload`` to a synced temp file and read it back.
+
+    Reproduces LFZip's intermediate disk operations (Section VII-C4): the
+    reference implementation stages every variable's stream on disk for
+    the external entropy coder.
+    """
+    fd, path = tempfile.mkstemp(prefix="lfzip-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        with open(path, "rb") as fh:
+            return fh.read()
+    finally:
+        os.unlink(path)
+
+
+class _NLMSBank:
+    """One NLMS filter per atom, vectorized across the atom axis."""
+
+    def __init__(self, n_atoms: int, order: int = FILTER_ORDER) -> None:
+        self.order = order
+        self.weights = np.zeros((n_atoms, order))
+        self.history = np.zeros((n_atoms, order))  # most recent first
+        self.primed = 0  # number of samples seen
+
+    def predict(self) -> np.ndarray:
+        """Predict the next sample for every atom."""
+        if self.primed == 0:
+            return np.zeros(self.weights.shape[0])
+        if self.primed < self.order:
+            # Cold start: persistence prediction until the window fills.
+            return self.history[:, 0].copy()
+        return np.einsum("ij,ij->i", self.weights, self.history)
+
+    def update(self, reconstructed: np.ndarray) -> None:
+        """Adapt weights with the NLMS rule and push the new sample."""
+        if self.primed >= self.order:
+            error = reconstructed - np.einsum(
+                "ij,ij->i", self.weights, self.history
+            )
+            norm = np.einsum("ij,ij->i", self.history, self.history) + EPS
+            self.weights += (
+                MU * error[:, None] * self.history / norm[:, None]
+            )
+        self.history[:, 1:] = self.history[:, :-1]
+        self.history[:, 0] = reconstructed
+        self.primed += 1
+
+
+class LFZipCompressor(Compressor):
+    """LFZip (NLMS variant) over per-atom coordinate series."""
+
+    name = "lfzip"
+    is_lossless = False
+
+    def compress_batch(self, batch: np.ndarray) -> bytes:
+        batch = self.as_batch(batch)
+        t_count, n = batch.shape
+        eb = self.error_bound
+        width = 2.0 * eb
+        bank = _NLMSBank(n)  # cold start: each buffer is an independent file
+        out = np.empty((t_count, n), dtype=np.float64)
+        codes = np.empty((t_count, n), dtype=np.int64)
+        literal_mask = np.zeros((t_count, n), dtype=bool)
+        literals: list[np.ndarray] = []
+        for t in range(t_count):
+            pred = bank.predict()
+            q = np.rint((batch[t] - pred) / width)
+            oos = np.abs(q) >= _MARKER
+            recon = pred + q * width
+            if oos.any():
+                # Store the exact grid-rounded value for runaway residuals.
+                lit_level = np.rint(batch[t][oos] / width).astype(np.int64)
+                literals.append(lit_level)
+                recon[oos] = lit_level * width
+                q[oos] = _MARKER
+                literal_mask[t] = oos
+            codes[t] = q.astype(np.int64)
+            bank.update(recon)
+            out[t] = recon
+        # The reference implementation materializes the reconstruction on
+        # disk (it feeds a verification pass) before entropy coding.
+        _disk_round_trip(out.tobytes())
+        writer = BlobWriter()
+        writer.write_json({"shape": [t_count, n], "eb": eb})
+        # Raw 16-bit code words, staged through a temp file (the original
+        # hands a file to the external BSC coder), then BWT-compressed.
+        words = (codes.ravel() + _MARKER).astype(np.uint16)
+        staged = _disk_round_trip(words.tobytes())
+        writer.write_bytes(lossless_compress(staged, "bz2", 9))
+        lit = (
+            np.concatenate(literals)
+            if literals
+            else np.empty(0, dtype=np.int64)
+        )
+        writer.write_json({"n_lit": int(lit.size)})
+        writer.write_bytes(encode_varints(zigzag_encode(lit)))
+        return writer.getvalue()
+
+    def decompress_batch(self, blob: bytes) -> np.ndarray:
+        reader = BlobReader(blob)
+        meta = reader.read_json()
+        t_count, n = (int(x) for x in meta["shape"])
+        eb = float(meta["eb"])
+        width = 2.0 * eb
+        words = np.frombuffer(
+            _disk_round_trip(lossless_decompress(reader.read_bytes())),
+            dtype=np.uint16,
+        )
+        codes = words.astype(np.int64).reshape(t_count, n) - _MARKER
+        n_lit = int(reader.read_json()["n_lit"])
+        literals = zigzag_decode(decode_varints(reader.read_bytes(), n_lit))
+        bank = _NLMSBank(n)  # mirror the encoder's per-buffer cold start
+        out = np.empty((t_count, n), dtype=np.float64)
+        lit_pos = 0
+        for t in range(t_count):
+            pred = bank.predict()
+            q = codes[t]
+            oos = q == _MARKER
+            recon = pred + q * width
+            if oos.any():
+                take = int(oos.sum())
+                recon[oos] = (
+                    literals[lit_pos : lit_pos + take].astype(np.float64)
+                    * width
+                )
+                lit_pos += take
+            out[t] = recon
+            bank.update(recon)
+        _disk_round_trip(out.tobytes())
+        return out
+
+
+register_compressor("lfzip", LFZipCompressor)

@@ -1,0 +1,254 @@
+"""ZFP-style fixed-point block transform coder (lossy + lossless modes).
+
+ZFP [Lindstrom 2014] partitions data into small blocks, aligns each block to
+a common binary exponent (block floating point), applies a non-orthogonal
+decorrelating lifting transform, reorders coefficients by expected
+magnitude, and encodes negabinary bit planes from most to least significant.
+
+This reimplementation follows that structure on 4x4 blocks over the
+(snapshot, atom) plane:
+
+* **fixed-accuracy** (error-bounded) mode quantizes the transform
+  coefficients by a per-block right shift sized so the truncation error —
+  including the inverse-transform gain — stays under the tolerance, then
+  bit-plane-codes the surviving planes;
+* **lossless** mode codes at full coefficient precision and appends an
+  exact bit-level residual (via the order-preserving integer mapping of
+  :mod:`repro.baselines.fpzip_like`), making the round trip bit-exact.
+  This is the mode that appears in the paper's lossless comparison
+  (Table V).
+
+The paper's observation that ZFP is "designed and optimized for
+three-dimensional data" and underperforms on batched 2D MD data
+(Section II) emerges directly: 4x4 blocks straddle unrelated atoms, so
+spatial decorrelation fails exactly as it does for the real coder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import CompressionError
+from ..serde import BlobReader, BlobWriter
+from ..sz.lossless import lossless_compress, lossless_decompress
+from .api import Compressor, register_compressor
+from .fpzip_like import float_to_ordered, ordered_to_float
+
+_BLOCK = 4
+#: Fixed-point fractional bits when widening block values to integers.
+_PRECISION = 48
+#: Extra dropped-plane headroom protecting the error bound against the
+#: inverse-transform gain (growth factor < 8 for the 2D lifting pair).
+_GAIN_MARGIN_BITS = 3
+
+# zfp's decorrelating transform in matrix form; the inverse is computed
+# numerically and the pair is exactly inverse to double precision.
+_FWD = np.array(
+    [
+        [4, 4, 4, 4],
+        [5, 1, -1, -5],
+        [-4, 4, 4, -4],
+        [-2, 6, -6, 2],
+    ],
+    dtype=np.float64,
+) / 16.0
+_INV = np.linalg.inv(_FWD)
+
+#: Coefficient visit order for a 4x4 block: by total degree (frequency),
+#: mimicking zfp's magnitude ordering.
+_ORDER = np.argsort(
+    (np.arange(4)[:, None] + np.arange(4)[None, :]).ravel(), kind="stable"
+)
+
+
+def _to_blocks(data: np.ndarray) -> tuple[np.ndarray, tuple[int, int]]:
+    """Pad to multiples of 4 (edge replication) and split into 4x4 blocks."""
+    rows, cols = data.shape
+    pad_r = (-rows) % _BLOCK
+    pad_c = (-cols) % _BLOCK
+    padded = np.pad(data, ((0, pad_r), (0, pad_c)), mode="edge")
+    nr, nc = padded.shape[0] // _BLOCK, padded.shape[1] // _BLOCK
+    blocks = (
+        padded.reshape(nr, _BLOCK, nc, _BLOCK)
+        .transpose(0, 2, 1, 3)
+        .reshape(-1, _BLOCK, _BLOCK)
+    )
+    return blocks, (rows, cols)
+
+
+def _from_blocks(blocks: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
+    """Reassemble 4x4 blocks and crop the padding."""
+    rows, cols = shape
+    nr = (rows + _BLOCK - 1) // _BLOCK
+    nc = (cols + _BLOCK - 1) // _BLOCK
+    full = (
+        blocks.reshape(nr, nc, _BLOCK, _BLOCK)
+        .transpose(0, 2, 1, 3)
+        .reshape(nr * _BLOCK, nc * _BLOCK)
+    )
+    return full[:rows, :cols]
+
+
+def _negabinary(v: np.ndarray) -> np.ndarray:
+    """Signed int64 -> negabinary uint64 (zfp's sign-free representation)."""
+    mask = np.uint64(0xAAAAAAAAAAAAAAAA)
+    return (v.astype(np.int64).view(np.uint64) + mask) ^ mask
+
+
+def _from_negabinary(u: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_negabinary`."""
+    mask = np.uint64(0xAAAAAAAAAAAAAAAA)
+    return ((u.astype(np.uint64) ^ mask) - mask).view(np.int64)
+
+
+def _encode_planes(quantized: np.ndarray) -> tuple[bytes, int]:
+    """Bit-plane serialization, MSB plane first, of (n_blocks, 16) ints."""
+    neg = _negabinary(quantized).ravel()
+    top = max(1, int(neg.max()).bit_length()) if neg.size else 1
+    bits = np.empty((top, neg.size), dtype=np.uint8)
+    for p in range(top):
+        shift = np.uint64(top - 1 - p)
+        bits[p] = ((neg >> shift) & np.uint64(1)).astype(np.uint8)
+    return np.packbits(bits.ravel()).tobytes(), top
+
+
+def _decode_planes(payload: bytes, count: int, planes: int) -> np.ndarray:
+    """Inverse of :func:`_encode_planes` for ``count`` coefficients."""
+    total = planes * count
+    bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8), count=total)
+    bits = bits.reshape(planes, count)
+    flat = np.zeros(count, dtype=np.uint64)
+    for p in range(planes):
+        flat = (flat << np.uint64(1)) | bits[p].astype(np.uint64)
+    return _from_negabinary(flat)
+
+
+class ZFPLikeCompressor(Compressor):
+    """ZFP-style transform coder over (snapshot, atom) planes.
+
+    Parameters
+    ----------
+    mode:
+        ``"accuracy"`` (error-bounded, default) or ``"lossless"``.
+    """
+
+    supports_random_access = True
+
+    def __init__(self, mode: str = "accuracy") -> None:
+        if mode not in ("accuracy", "lossless"):
+            raise ValueError(f"unknown ZFP mode {mode!r}")
+        self.mode = mode
+        self.is_lossless = mode == "lossless"
+        self.name = "zfp" if mode == "accuracy" else "zfp-lossless"
+
+    def compress_batch(self, batch: np.ndarray) -> bytes:
+        arr = np.ascontiguousarray(batch)
+        data = arr.astype(np.float64)
+        if data.ndim == 1:
+            data = data[None, :]
+        if not np.isfinite(data).all():
+            raise CompressionError("zfp-like coder requires finite values")
+        blocks, shape = _to_blocks(data)
+        n_blocks = blocks.shape[0]
+        absmax = np.abs(blocks).reshape(n_blocks, -1).max(axis=1)
+        exps = np.where(
+            absmax > 0, np.ceil(np.log2(np.maximum(absmax, 1e-300))), 0
+        ).astype(np.int64)
+        scale = np.exp2(_PRECISION - exps.astype(np.float64))
+        fixed = np.rint(blocks * scale[:, None, None])
+        t = np.einsum("ij,bjk->bik", _FWD, fixed)
+        t = np.einsum("bik,kj->bij", t, _FWD.T)
+        coeffs = np.rint(t).reshape(n_blocks, 16)[:, _ORDER].astype(np.int64)
+        drops = self._drop_bits(exps)
+        quantized = self._round_shift(coeffs, drops)
+        payload, planes = _encode_planes(quantized)
+        writer = BlobWriter()
+        writer.write_json(
+            {
+                "mode": self.mode,
+                "dtype": arr.dtype.str,
+                "shape": list(data.shape),
+                "planes": int(planes),
+            }
+        )
+        writer.write_array(exps.astype(np.int16))
+        writer.write_array(drops.astype(np.int8))
+        writer.write_bytes(payload)
+        if self.mode == "lossless":
+            recon = self._reconstruct(quantized, drops, exps, shape)
+            delta = float_to_ordered(arr.astype(arr.dtype)) - float_to_ordered(
+                recon.astype(arr.dtype)
+            )
+            writer.write_bytes(
+                lossless_compress(delta.astype(np.int64).tobytes(), "zlib", 6)
+            )
+        return lossless_compress(writer.getvalue(), "zlib", 6)
+
+    def decompress_batch(self, blob: bytes) -> np.ndarray:
+        reader = BlobReader(lossless_decompress(blob))
+        meta = reader.read_json()
+        shape = tuple(int(x) for x in meta["shape"])
+        out_dtype = np.dtype(meta["dtype"])
+        exps = reader.read_array().astype(np.int64)
+        drops = reader.read_array().astype(np.int64)
+        n_blocks = exps.size
+        quantized = _decode_planes(
+            reader.read_bytes(), n_blocks * 16, int(meta["planes"])
+        ).reshape(n_blocks, 16)
+        recon = self._reconstruct(quantized, drops, exps, shape)
+        result = recon.astype(out_dtype)
+        if meta["mode"] == "lossless":
+            raw = lossless_decompress(reader.read_bytes())
+            delta = np.frombuffer(raw, dtype=np.int64).reshape(shape)
+            mapped = float_to_ordered(result) + delta.astype(
+                np.int64 if out_dtype.itemsize == 8 else np.int32
+            )
+            result = ordered_to_float(mapped).astype(out_dtype)
+        return result
+
+    # -- internals ------------------------------------------------------
+
+    def _drop_bits(self, exps: np.ndarray) -> np.ndarray:
+        """Per-block low-plane shift in fixed-accuracy mode.
+
+        Lossless mode keeps a ~16-bit transform core and lets the exact
+        bit-level residual carry the remaining (incompressible) mantissa
+        tail once, instead of paying for it in both streams.
+        """
+        if self.mode == "lossless":
+            return np.full_like(exps, max(_PRECISION - 16, 0))
+        tol = self.error_bound
+        # One fixed-point unit in block b equals 2**(exps[b] - PRECISION) in
+        # value space; dropping `drop` planes leaves error <= 2**(drop-1)
+        # units, amplified by the inverse transform -> margin bits.
+        budget = np.floor(np.log2(max(tol, 1e-300))) - exps + _PRECISION
+        return np.clip(budget - _GAIN_MARGIN_BITS, 0, 62).astype(np.int64)
+
+    @staticmethod
+    def _round_shift(coeffs: np.ndarray, drops: np.ndarray) -> np.ndarray:
+        """Round-to-nearest arithmetic right shift, per block row."""
+        d = drops[:, None]
+        half = np.where(d > 0, np.int64(1) << np.maximum(d - 1, 0), 0)
+        return (coeffs + half) >> d
+
+    def _reconstruct(
+        self,
+        quantized: np.ndarray,
+        drops: np.ndarray,
+        exps: np.ndarray,
+        shape: tuple[int, int],
+    ) -> np.ndarray:
+        coeffs = (quantized << drops[:, None]).astype(np.float64)
+        n_blocks = coeffs.shape[0]
+        unordered = np.empty_like(coeffs)
+        unordered[:, _ORDER] = coeffs
+        t = unordered.reshape(n_blocks, _BLOCK, _BLOCK)
+        x = np.einsum("ij,bjk->bik", _INV, t)
+        x = np.einsum("bik,kj->bij", x, _INV.T)
+        scale = np.exp2(_PRECISION - exps.astype(np.float64))
+        blocks = x / scale[:, None, None]
+        return _from_blocks(blocks, shape)
+
+
+register_compressor("zfp", lambda: ZFPLikeCompressor("accuracy"))
+register_compressor("zfp-lossless", lambda: ZFPLikeCompressor("lossless"))

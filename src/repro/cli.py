@@ -1,0 +1,218 @@
+"""Command-line interface: ``mdz`` compress/decompress/info/bench.
+
+Usage (after ``python setup.py develop`` / ``pip install -e .``)::
+
+    mdz compress  traj.npy traj.mdz --error-bound 1e-3 --buffer-size 10
+    mdz compress  run.dump traj.mdz            # LAMMPS-style text dumps
+    mdz decompress traj.mdz restored.npy
+    mdz info      traj.mdz
+    mdz bench     traj.npy --compressors mdz,sz2,tng
+
+Input trajectories are ``.npy`` arrays of shape (snapshots, atoms, 3) (or
+(snapshots, atoms)) or LAMMPS-style text dumps (``.dump``/``.lammpstrj``).
+The same entry point is importable: ``python -m repro.cli ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from . import __version__
+from .core.config import MDZConfig
+from .core.mdz import MDZ
+from .exceptions import ReproError
+from .io.container import read_container_info
+from .io.dump import frames_to_array, read_dump
+
+
+def _load_trajectory(path: Path) -> np.ndarray:
+    """Read a (snapshots, atoms, 3) trajectory from .npy or a text dump."""
+    if path.suffix == ".npy":
+        data = np.load(path)
+    elif path.suffix in (".dump", ".lammpstrj", ".txt"):
+        data = frames_to_array(read_dump(path))
+    else:
+        raise ReproError(
+            f"unsupported trajectory format {path.suffix!r} "
+            "(expected .npy, .dump, or .lammpstrj)"
+        )
+    if data.ndim == 2:
+        data = data[:, :, None]
+    if data.ndim != 3:
+        raise ReproError(
+            f"expected (snapshots, atoms[, axes]) data, got {data.shape}"
+        )
+    return data
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    data = _load_trajectory(Path(args.input))
+    config = MDZConfig(
+        error_bound=args.error_bound,
+        error_bound_mode=args.bound_mode,
+        buffer_size=args.buffer_size,
+        method=args.method,
+        sequence_mode=args.sequence,
+        quantization_scale=args.scale,
+    )
+    t0 = time.perf_counter()
+    blob = MDZ(config).compress(data)
+    elapsed = time.perf_counter() - t0
+    Path(args.output).write_bytes(blob)
+    raw = data.astype(np.float32).nbytes
+    print(
+        f"{args.input}: {data.shape[0]} snapshots x {data.shape[1]} atoms "
+        f"x {data.shape[2]} axes"
+    )
+    print(
+        f"compressed {raw / 1e6:.2f} MB -> {len(blob) / 1e6:.3f} MB "
+        f"(CR {raw / len(blob):.1f}x) in {elapsed:.2f}s"
+    )
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    blob = Path(args.input).read_bytes()
+    t0 = time.perf_counter()
+    data = MDZ().decompress(blob)
+    elapsed = time.perf_counter() - t0
+    out = data.astype(np.float32) if args.float32 else data
+    np.save(args.output, out)
+    print(
+        f"decompressed {data.shape[0]} snapshots x {data.shape[1]} atoms "
+        f"in {elapsed:.2f}s -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    info = read_container_info(Path(args.input).read_bytes())
+    print(f"container: {args.input}")
+    print(
+        f"  snapshots={info.snapshots} atoms={info.atoms} axes={info.axes} "
+        f"buffer_size={info.buffer_size}"
+    )
+    print(
+        "  error bounds: "
+        + ", ".join(f"{b:.3e}" for b in info.error_bounds)
+    )
+    print(f"  method={info.method} sequence={info.sequence}")
+    print(f"  buffers={info.n_buffers} payload={info.payload_bytes / 1e3:.1f} KB")
+    for axis, methods in enumerate(info.methods_per_axis):
+        summary = ", ".join(f"{m}x{c}" for m, c in sorted(methods.items()))
+        print(f"  axis {axis}: {summary}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .io.batch import run_stream
+
+    data = _load_trajectory(Path(args.input))
+    names = [c.strip() for c in args.compressors.split(",") if c.strip()]
+    print(
+        f"{'compressor':12s} {'CR':>8s} {'comp MB/s':>10s} {'dec MB/s':>10s}"
+    )
+    for name in names:
+        total = raw = comp_s = dec_s = 0
+        for axis in range(data.shape[2]):
+            stream = data[:, :, axis]
+            decoded = run_stream(
+                name,
+                stream,
+                None if name in _LOSSLESS else args.error_bound,
+                args.buffer_size,
+                decompress=True,
+            )
+            total += decoded.result.compressed_bytes
+            raw += decoded.result.raw_bytes
+            comp_s += decoded.result.compress_seconds
+            dec_s += decoded.result.decompress_seconds
+        mb = raw / 1e6
+        print(
+            f"{name:12s} {raw / total:8.2f} {mb / comp_s:10.1f} "
+            f"{mb / dec_s:10.1f}"
+        )
+    return 0
+
+
+_LOSSLESS = {"zstd", "zlib", "brotli", "fpc", "fpzip", "zfp-lossless"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``mdz`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="mdz",
+        description="MDZ error-bounded lossy compressor for MD trajectories",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"mdz {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    comp = sub.add_parser("compress", help="compress a trajectory")
+    comp.add_argument("input", help=".npy or LAMMPS-style dump file")
+    comp.add_argument("output", help="output .mdz container")
+    comp.add_argument(
+        "--error-bound", type=float, default=1e-3, help="epsilon (default 1e-3)"
+    )
+    comp.add_argument(
+        "--bound-mode",
+        choices=("value_range", "absolute"),
+        default="value_range",
+    )
+    comp.add_argument("--buffer-size", type=int, default=10)
+    comp.add_argument(
+        "--method", choices=("adp", "vq", "vqt", "mt"), default="adp"
+    )
+    comp.add_argument("--sequence", choices=("seq1", "seq2"), default="seq2")
+    comp.add_argument("--scale", type=int, default=1024)
+    comp.set_defaults(func=_cmd_compress)
+
+    dec = sub.add_parser("decompress", help="decompress a container")
+    dec.add_argument("input", help=".mdz container")
+    dec.add_argument("output", help="output .npy file")
+    dec.add_argument(
+        "--float32",
+        action="store_true",
+        help="store the reconstruction as float32",
+    )
+    dec.set_defaults(func=_cmd_decompress)
+
+    info = sub.add_parser("info", help="inspect a container")
+    info.add_argument("input", help=".mdz container")
+    info.set_defaults(func=_cmd_info)
+
+    bench = sub.add_parser("bench", help="compare compressors on a file")
+    bench.add_argument("input", help=".npy or dump file")
+    bench.add_argument(
+        "--compressors",
+        default="mdz,sz2,tng,lfzip",
+        help="comma-separated registry names",
+    )
+    bench.add_argument("--error-bound", type=float, default=1e-3)
+    bench.add_argument("--buffer-size", type=int, default=10)
+    bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

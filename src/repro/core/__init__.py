@@ -1,0 +1,43 @@
+"""MDZ — the paper's contribution: an adaptive error-bounded MD compressor.
+
+MDZ (Section VI) selects among three prediction strategies tuned to the
+spatial/temporal structure of MD data:
+
+* :class:`~repro.core.vq.VQMethod` — vector-quantization prediction from
+  the clustered crystal levels, snapshot-independent;
+* :class:`~repro.core.vqt.VQTMethod` — VQ on the first snapshot of each
+  buffer, time-based prediction for the rest;
+* :class:`~repro.core.mt.MTMethod` — initial-snapshot (snapshot-0)
+  prediction for the first snapshot of each buffer, time-based for the
+  rest;
+
+plus the adaptive selector :class:`~repro.core.adaptive.ADPSelector` that
+re-evaluates all three every 50 buffers and keeps the winner (per axis).
+
+The user-facing entry points are :class:`~repro.core.mdz.MDZ` (whole
+(snapshots, atoms, 3) trajectories, produces ``.mdz`` containers) and
+:class:`~repro.core.mdz.MDZAxisCompressor` (the per-axis session used by
+the benchmark harness).
+"""
+
+from .config import MDZConfig
+from .levels import SessionLevelModel
+from .mdz import MDZ, MDZAxisCompressor
+from .methods import MDZMethod, MethodState
+from .vq import VQMethod
+from .vqt import VQTMethod
+from .mt import MTMethod
+from .adaptive import ADPSelector
+
+__all__ = [
+    "ADPSelector",
+    "MDZ",
+    "MDZAxisCompressor",
+    "MDZConfig",
+    "MDZMethod",
+    "MethodState",
+    "MTMethod",
+    "SessionLevelModel",
+    "VQMethod",
+    "VQTMethod",
+]

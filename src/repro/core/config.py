@@ -1,0 +1,118 @@
+"""Configuration for the MDZ compressor.
+
+Defaults follow the paper: value-range-relative error bound, buffer size 10,
+quantization scale 1024 (the Figure 9 sweet spot), Seq-2 code ordering
+(Table III), adaptive method selection re-evaluated every 50 buffers
+(Section VI-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import ConfigurationError
+
+#: Method names accepted by :attr:`MDZConfig.method`.
+METHODS = ("adp", "vq", "vqt", "mt")
+
+#: Error-bound interpretation modes.
+ERROR_BOUND_MODES = ("value_range", "absolute")
+
+#: Sequence (quantization-code ordering) modes; Seq-2 is particle-major.
+SEQUENCE_MODES = ("seq1", "seq2")
+
+
+@dataclass
+class MDZConfig:
+    """All tunables of the MDZ compressor.
+
+    Attributes
+    ----------
+    error_bound:
+        The bound value; interpreted according to ``error_bound_mode``.
+        Default 1e-3 (the paper's headline setting).
+    error_bound_mode:
+        ``"value_range"`` — absolute bound is ``error_bound * (max - min)``
+        of the first buffer of each axis (the paper's epsilon); or
+        ``"absolute"`` — used verbatim.
+    buffer_size:
+        Snapshots per buffer (BS); the paper sweeps 10/50/100.
+    quantization_scale:
+        Number of representable quantization integers (Section VI-C1).
+    sequence_mode:
+        ``"seq2"`` (particle-major, default) or ``"seq1"`` (Table III).
+    method:
+        ``"adp"`` (default) or a fixed method ``"vq"``/``"vqt"``/``"mt"``.
+    adaptation_interval:
+        Buffers between ADP re-evaluations (the paper: every 50
+        compression operations).
+    lossless_backend:
+        Trailing dictionary coder (``"zlib"``, ``"lzma"``, ``"bz2"``).
+    level_seed:
+        Seed for the k-means sampling in the level detector.
+    """
+
+    error_bound: float = 1e-3
+    error_bound_mode: str = "value_range"
+    buffer_size: int = 10
+    quantization_scale: int = 1024
+    sequence_mode: str = "seq2"
+    method: str = "adp"
+    adaptation_interval: int = 50
+    lossless_backend: str = "zlib"
+    level_seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on inconsistent settings."""
+        if self.error_bound_mode not in ERROR_BOUND_MODES:
+            raise ConfigurationError(
+                f"error_bound_mode must be one of {ERROR_BOUND_MODES}, "
+                f"got {self.error_bound_mode!r}"
+            )
+        if not self.error_bound > 0:
+            raise ConfigurationError(
+                f"error_bound must be positive, got {self.error_bound}"
+            )
+        if self.error_bound_mode == "value_range" and self.error_bound >= 1:
+            raise ConfigurationError(
+                "a value-range-relative bound >= 1 would erase the data; "
+                f"got {self.error_bound}"
+            )
+        if self.buffer_size < 1:
+            raise ConfigurationError(
+                f"buffer_size must be >= 1, got {self.buffer_size}"
+            )
+        if self.quantization_scale < 4:
+            raise ConfigurationError(
+                f"quantization_scale must be >= 4, got {self.quantization_scale}"
+            )
+        if self.sequence_mode not in SEQUENCE_MODES:
+            raise ConfigurationError(
+                f"sequence_mode must be one of {SEQUENCE_MODES}, "
+                f"got {self.sequence_mode!r}"
+            )
+        if self.method not in METHODS:
+            raise ConfigurationError(
+                f"method must be one of {METHODS}, got {self.method!r}"
+            )
+        if self.adaptation_interval < 1:
+            raise ConfigurationError(
+                f"adaptation_interval must be >= 1, got {self.adaptation_interval}"
+            )
+
+    @property
+    def layout(self) -> str:
+        """Numpy flattening order implementing the sequence mode."""
+        return "F" if self.sequence_mode == "seq2" else "C"
+
+    def absolute_bound(self, value_range: float) -> float:
+        """Resolve the configured bound to an absolute bound."""
+        if self.error_bound_mode == "absolute":
+            return self.error_bound
+        if value_range <= 0:
+            # Constant data: any positive bound preserves it exactly.
+            return self.error_bound
+        return self.error_bound * value_range

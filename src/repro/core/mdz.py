@@ -1,0 +1,159 @@
+"""MDZ compressor front ends.
+
+Two entry points:
+
+* :class:`MDZAxisCompressor` — the per-axis session implementing the
+  :class:`~repro.baselines.api.Compressor` interface (what the benchmark
+  harness drives, one session per coordinate axis);
+* :class:`MDZ` — the user-facing whole-trajectory compressor: takes a
+  ``(snapshots, atoms, 3)`` array, runs one axis session per coordinate,
+  and packs everything into a self-describing ``.mdz`` container
+  (:mod:`repro.io.container`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.api import Compressor, SessionMeta, register_compressor
+from ..exceptions import CompressionError, DecompressionError
+from ..serde import BlobReader, BlobWriter
+from ..sz.lossless import lossless_compress, lossless_decompress
+from ..sz.quantizer import LinearQuantizer
+from .adaptive import ADPSelector
+from .config import MDZConfig
+from .levels import SessionLevelModel
+from .methods import METHOD_IDS, METHOD_NAMES, MethodState
+from .mt import MTMethod
+from .vq import VQMethod
+from .vqt import VQTMethod
+
+_METHOD_OBJECTS = {"vq": VQMethod(), "vqt": VQTMethod(), "mt": MTMethod()}
+
+
+class MDZAxisCompressor(Compressor):
+    """MDZ session over one coordinate-axis stream of (B, N) buffers.
+
+    Parameters
+    ----------
+    config:
+        Full MDZ configuration; ``config.method`` picks ADP (default) or a
+        fixed method.  The harness supplies the *absolute* error bound via
+        :meth:`begin`, so ``config.error_bound`` is ignored here.
+    """
+
+    is_lossless = False
+
+    def __init__(self, config: MDZConfig | None = None) -> None:
+        self.config = config if config is not None else MDZConfig()
+        self.name = (
+            "mdz" if self.config.method == "adp" else f"mdz-{self.config.method}"
+        )
+        self.supports_random_access = self.config.method == "vq"
+        self._state: MethodState | None = None
+        self._selector: ADPSelector | None = None
+
+    def begin(self, error_bound: float | None, meta: SessionMeta) -> None:
+        super().begin(error_bound, meta)
+        self._state = MethodState(
+            quantizer=LinearQuantizer(
+                error_bound, self.config.quantization_scale
+            ),
+            layout=self.config.layout,
+            levels=SessionLevelModel(seed=self.config.level_seed),
+            reference=None,
+            lossless_backend=self.config.lossless_backend,
+        )
+        self._selector = ADPSelector(interval=self.config.adaptation_interval)
+
+    @property
+    def selection_history(self):
+        """ADP selection records (empty for fixed-method sessions)."""
+        return [] if self._selector is None else self._selector.history
+
+    def compress_batch(self, batch: np.ndarray) -> bytes:
+        batch = self.as_batch(batch)
+        state = self._require_state()
+        if self.config.method == "adp":
+            name, payload, recon = self._selector.encode(batch, state)
+        else:
+            name = self.config.method
+            payload, recon = _METHOD_OBJECTS[name].encode(batch, state)
+        if state.reference is None:
+            state.reference = recon[0].copy()
+        writer = BlobWriter()
+        writer.write_json({"m": METHOD_IDS[name]})
+        writer.write_bytes(payload)
+        return lossless_compress(writer.getvalue(), state.lossless_backend)
+
+    def decompress_batch(self, blob: bytes) -> np.ndarray:
+        state = self._require_state()
+        reader = BlobReader(lossless_decompress(blob))
+        method_id = int(reader.read_json()["m"])
+        try:
+            name = METHOD_NAMES[method_id]
+        except KeyError:
+            raise DecompressionError(f"unknown MDZ method id {method_id}") from None
+        out = _METHOD_OBJECTS[name].decode(reader.read_bytes(), state)
+        if state.reference is None:
+            state.reference = out[0].copy()
+        return out
+
+    def _require_state(self) -> MethodState:
+        if self._state is None:
+            raise CompressionError(
+                "session not started: call begin(error_bound, meta) first"
+            )
+        return self._state
+
+
+class MDZ:
+    """Whole-trajectory MDZ compressor producing ``.mdz`` containers.
+
+    Example
+    -------
+    >>> from repro import MDZ, MDZConfig
+    >>> mdz = MDZ(MDZConfig(error_bound=1e-3, buffer_size=10))
+    >>> blob = mdz.compress(positions)          # (T, N, 3) array
+    >>> restored = mdz.decompress(blob)         # same shape, bounded error
+    """
+
+    def __init__(self, config: MDZConfig | None = None) -> None:
+        self.config = config if config is not None else MDZConfig()
+
+    def compress(self, positions: np.ndarray) -> bytes:
+        """Compress a (snapshots, atoms, 3) trajectory into a container."""
+        from ..io.container import write_container
+
+        positions = np.asarray(positions)
+        if positions.ndim == 2:
+            positions = positions[:, :, None]
+        if positions.ndim != 3:
+            raise CompressionError(
+                f"expected (snapshots, atoms, axes), got shape {positions.shape}"
+            )
+        return write_container(positions, self.config)
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        """Decompress a container back to the full trajectory."""
+        from ..io.container import read_container
+
+        return read_container(blob)
+
+    def decompress_batch(self, blob: bytes, batch_index: int) -> np.ndarray:
+        """Decode a single buffer (all axes) from a container.
+
+        Random access is cheap for VQ-coded buffers; for VQT/MT the decoder
+        still only touches the buffers needed to rebuild the reference.
+        """
+        from ..io.container import read_container_batch
+
+        return read_container_batch(blob, batch_index)
+
+
+register_compressor("mdz", lambda: MDZAxisCompressor(MDZConfig(method="adp")))
+register_compressor("mdz-vq", lambda: MDZAxisCompressor(MDZConfig(method="vq")))
+register_compressor(
+    "mdz-vqt", lambda: MDZAxisCompressor(MDZConfig(method="vqt"))
+)
+register_compressor("mdz-mt", lambda: MDZAxisCompressor(MDZConfig(method="mt")))

@@ -1,0 +1,88 @@
+"""Shared machinery for MDZ's three prediction methods.
+
+Each method (VQ, VQT, MT) is a stateless strategy object operating on a
+:class:`MethodState` that carries the per-session artifacts: the quantizer,
+the cached level model, the sequence layout, and — for MT — the
+reconstruction of the session's first snapshot (the paper's "snapshot 0").
+
+``encode`` returns both the serialized payload *and* the full batch
+reconstruction; the session uses the reconstruction to maintain the MT
+reference (and callers get error verification for free).  ``decode``
+mirrors the encoding exactly, so an encoder and a decoder fed the same blob
+sequence stay in lock step.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sz.quantizer import LinearQuantizer
+from .levels import SessionLevelModel
+
+#: Wire ids of the methods (stored per batch in the container).
+METHOD_IDS = {"vq": 1, "vqt": 2, "mt": 3}
+METHOD_NAMES = {v: k for k, v in METHOD_IDS.items()}
+
+
+@dataclass
+class MethodState:
+    """Mutable per-session state shared by the methods.
+
+    Attributes
+    ----------
+    quantizer:
+        The session's linear-scale quantizer (absolute bound + scale).
+    layout:
+        ``"F"`` for Seq-2 (default), ``"C"`` for Seq-1.
+    levels:
+        Lazily-fitted level model (used by VQ and VQT).
+    reference:
+        Reconstruction of the session's first snapshot; ``None`` until the
+        first batch has been coded.  MT predicts every buffer's first
+        snapshot from it.
+    lossless_backend:
+        Name of the trailing dictionary coder.
+    """
+
+    quantizer: LinearQuantizer
+    layout: str = "F"
+    levels: SessionLevelModel = field(default_factory=SessionLevelModel)
+    reference: np.ndarray | None = None
+    lossless_backend: str = "zlib"
+
+    def clone_for_trial(self) -> "MethodState":
+        """A shallow trial copy: shares the level model (it is immutable
+        once fitted) but isolates the reference so ADP trials cannot
+        corrupt the session."""
+        return MethodState(
+            quantizer=self.quantizer,
+            layout=self.layout,
+            levels=self.levels,
+            reference=None if self.reference is None else self.reference.copy(),
+            lossless_backend=self.lossless_backend,
+        )
+
+
+class MDZMethod(ABC):
+    """One of MDZ's prediction strategies (VQ / VQT / MT)."""
+
+    #: Short name ("vq", "vqt", "mt").
+    name: str = "abstract"
+
+    @property
+    def method_id(self) -> int:
+        """Wire id of this method."""
+        return METHOD_IDS[self.name]
+
+    @abstractmethod
+    def encode(
+        self, batch: np.ndarray, state: MethodState
+    ) -> tuple[bytes, np.ndarray]:
+        """Encode a (T, N) batch; returns (payload, reconstruction)."""
+
+    @abstractmethod
+    def decode(self, blob: bytes, state: MethodState) -> np.ndarray:
+        """Decode a payload produced by :meth:`encode` under equal state."""

@@ -1,0 +1,114 @@
+"""VQ: vector-quantization-based compression (Algorithm 1).
+
+Every data point is predicted by the centroid of its nearest crystal level
+(``V_i = mu + lambda * L_i``); the *relative level index* ``j_i = L_i -
+L_{i-1}`` and the quantized prediction residual ``b_i`` are Huffman coded.
+Because prediction never crosses snapshots, any buffer can be decompressed
+in isolation — the property the paper highlights for post hoc analysis of
+individual snapshots.
+
+Out-of-scope residuals (beyond the quantization scale) are replaced by the
+reserved marker and their absolute grid level — anchored at ``mu`` — is
+stored in the varint side channel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.level_detect import LevelFit
+from ..exceptions import DecompressionError
+from ..serde import BlobReader, BlobWriter
+from ..sz.huffman import HuffmanCodec
+from ..sz.pipeline import decode_int_stream, encode_int_stream
+from .methods import MDZMethod, MethodState
+
+
+def vq_encode_array(
+    batch: np.ndarray, fit: LevelFit, state: MethodState
+) -> tuple[bytes, np.ndarray]:
+    """Encode a (T, N) array with level prediction; returns (blob, recon).
+
+    Shared by VQ (whole buffers) and VQT (first snapshot only).
+    """
+    quantizer = state.quantizer
+    layout = state.layout
+    levels = fit.level_index(batch)
+    predictions = fit.level_value(levels)
+    residual_codes = np.rint(
+        (batch - predictions) / quantizer.bin_width
+    ).astype(np.int64)
+    absolute = quantizer.grid_levels(batch, fit.mu)
+    block = quantizer.split(residual_codes, absolute, order=layout)
+    # Relative level indexes: delta within each snapshot, first from 0.
+    rel = np.diff(levels, axis=1, prepend=np.zeros((batch.shape[0], 1), np.int64))
+    writer = BlobWriter()
+    writer.write_json(
+        {"lam": fit.lam, "mu": fit.mu, "shape": list(batch.shape)}
+    )
+    writer.write_bytes(HuffmanCodec.encode(rel.ravel(order=layout)))
+    writer.write_bytes(
+        encode_int_stream(block, layout, alphabet_hint=quantizer.scale + 1)
+    )
+    recon = _reconstruct(block, levels, fit, state)
+    return writer.getvalue(), recon
+
+
+def vq_decode_array(blob: bytes, state: MethodState) -> np.ndarray:
+    """Inverse of :func:`vq_encode_array`."""
+    quantizer = state.quantizer
+    layout = state.layout
+    reader = BlobReader(blob)
+    meta = reader.read_json()
+    shape = tuple(int(x) for x in meta["shape"])
+    fit = LevelFit(
+        lam=float(meta["lam"]),
+        mu=float(meta["mu"]),
+        k=0,
+        centroids=np.empty(0),
+        residual=0.0,
+    )
+    rel = HuffmanCodec.decode(reader.read_bytes()).reshape(shape, order=layout)
+    levels = np.cumsum(rel, axis=1)
+    block = decode_int_stream(reader.read_bytes())
+    if block.codes.shape != shape:
+        raise DecompressionError(
+            f"VQ stream shape mismatch: {block.codes.shape} vs {shape}"
+        )
+    return _reconstruct(block, levels, fit, state)
+
+
+def _reconstruct(block, levels, fit: LevelFit, state: MethodState) -> np.ndarray:
+    """Level prediction + dequantized residual, with literal substitution."""
+    quantizer = state.quantizer
+    predictions = fit.level_value(levels)
+    recon = predictions + block.codes * quantizer.bin_width
+    mask = block.codes == block.marker
+    n_mask = int(mask.sum())
+    if n_mask != block.wide.size:
+        raise DecompressionError(
+            f"VQ out-of-scope mismatch: {n_mask} markers vs "
+            f"{block.wide.size} literals"
+        )
+    if n_mask:
+        literal_values = quantizer.dequantize_levels(block.wide, fit.mu)
+        if block.order == "F":
+            recon_t = recon.T
+            recon_t[mask.T] = literal_values
+            recon = recon_t.T
+        else:
+            recon[mask] = literal_values
+    return recon
+
+
+class VQMethod(MDZMethod):
+    """Vector-quantization compression of whole buffers."""
+
+    name = "vq"
+
+    def encode(self, batch, state):
+        fit = state.levels.fit_for(batch[0])
+        return vq_encode_array(batch, fit, state)
+
+    def decode(self, blob, state):
+        return vq_decode_array(blob, state)

@@ -1,0 +1,22 @@
+"""Synthetic analogs of the paper's evaluation datasets (Table I + HACC).
+
+Each dataset reproduces the statistical features the paper characterizes in
+Section V — spatial level structure, histogram shape, temporal smoothness —
+at laptop scale.  The paper-scale metadata (original atom/snapshot counts)
+is retained so baseline capability checks (TNG/HRTC limits) behave exactly
+as in Section VII-A5.
+
+Use :func:`load_dataset` (cached, deterministic) or :func:`dataset_names`.
+"""
+
+from .registry import Dataset, dataset_names, load_dataset, clear_cache
+from .spec import DATASET_SPECS, DatasetSpec
+
+__all__ = [
+    "DATASET_SPECS",
+    "Dataset",
+    "DatasetSpec",
+    "clear_cache",
+    "dataset_names",
+    "load_dataset",
+]

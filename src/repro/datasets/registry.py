@@ -1,0 +1,117 @@
+"""Dataset registry: deterministic generation with on-disk caching.
+
+``load_dataset("copper-b")`` returns a :class:`Dataset` whose positions are
+generated once (deterministically from the spec seed) and cached as ``.npz``
+under the repository's ``.data_cache`` directory (override with the
+``REPRO_DATA_CACHE`` environment variable).  The real-MD datasets (LJ) take
+tens of seconds to integrate; everything else is near-instant.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .generators import GENERATORS
+from .hacc import generate_hacc
+from .spec import DATASET_SPECS, DatasetSpec
+
+#: Bump to invalidate caches when a generator changes.
+_CACHE_VERSION = 8
+
+
+def _cache_dir() -> Path:
+    env = os.environ.get("REPRO_DATA_CACHE")
+    if env:
+        path = Path(env)
+    else:
+        path = Path(__file__).resolve().parents[3] / ".data_cache"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A generated dataset: positions, periodic box, and its spec."""
+
+    spec: DatasetSpec
+    positions: np.ndarray  # (T, N, 3) float32
+    box: np.ndarray  # (3,)
+
+    @property
+    def name(self) -> str:
+        """Registry name."""
+        return self.spec.name
+
+    @property
+    def snapshots(self) -> int:
+        """Number of snapshots actually generated."""
+        return int(self.positions.shape[0])
+
+    @property
+    def atoms(self) -> int:
+        """Atoms per snapshot."""
+        return int(self.positions.shape[1])
+
+    def axis(self, axis: int | str) -> np.ndarray:
+        """One coordinate-axis stream as a float32 (T, N) array."""
+        index = {"x": 0, "y": 1, "z": 2}.get(axis, axis)
+        return self.positions[:, :, int(index)]
+
+    def value_range(self, axis: int | str) -> float:
+        """Max minus min over one axis stream."""
+        stream = self.axis(axis)
+        return float(stream.max() - stream.min())
+
+
+def dataset_names(include_hacc: bool = True) -> list[str]:
+    """Registry keys, in Table I order."""
+    names = [n for n in DATASET_SPECS if not n.startswith("hacc")]
+    if include_hacc:
+        names += [n for n in DATASET_SPECS if n.startswith("hacc")]
+    return names
+
+
+def load_dataset(name: str, snapshots: int | None = None) -> Dataset:
+    """Load (generating and caching if needed) one dataset.
+
+    Parameters
+    ----------
+    name:
+        A key from :func:`dataset_names`.
+    snapshots:
+        Optional truncation — benchmarks that only need a prefix of the
+        stream can avoid regeneration (never exceeds the spec size).
+    """
+    try:
+        spec = DATASET_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; known: {dataset_names()}"
+        ) from None
+    cache_file = _cache_dir() / f"{name}-v{_CACHE_VERSION}.npz"
+    if cache_file.exists():
+        with np.load(cache_file) as payload:
+            positions = payload["positions"]
+            box = payload["box"]
+    else:
+        rng = np.random.default_rng(spec.seed)
+        generator = GENERATORS.get(name, generate_hacc)
+        positions, box = generator(spec, rng)
+        positions = np.ascontiguousarray(positions, dtype=np.float32)
+        np.savez_compressed(cache_file, positions=positions, box=box)
+    if snapshots is not None:
+        positions = positions[:snapshots]
+    return Dataset(spec=spec, positions=positions, box=np.asarray(box))
+
+
+def clear_cache() -> int:
+    """Delete all cached datasets; returns the number of files removed."""
+    removed = 0
+    for path in _cache_dir().glob("*.npz"):
+        path.unlink()
+        removed += 1
+    return removed

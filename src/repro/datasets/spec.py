@@ -1,0 +1,194 @@
+"""Dataset specifications: paper metadata plus scaled generation sizes.
+
+Table I of the paper, with each dataset's original size preserved as
+metadata and the generated size scaled to what a single-core Python
+reproduction can sweep.  The ``original_atoms`` field drives the baseline
+capability checks, so TNG still refuses Pt/LJ and HRTC refuses
+Copper-A/Helium-A/Pt/LJ even though the generated streams are small
+(Section VII-A5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of one evaluation dataset.
+
+    Attributes
+    ----------
+    name:
+        Registry key (e.g. ``"copper-b"``).
+    state:
+        Physical state reported in Table I.
+    code:
+        Simulation code used by the paper.
+    paper_snapshots / paper_atoms:
+        Original sizes from Table I.
+    snapshots / atoms:
+        Generated (scaled) sizes.
+    temporal_class:
+        ``"large"`` (Figure 5 class 1: changes relatively large/frequent)
+        or ``"smooth"`` (class 2).
+    spatial_pattern:
+        The Figure 3 pattern label.
+    seed:
+        Deterministic generation seed.
+    """
+
+    name: str
+    state: str
+    code: str
+    paper_snapshots: int
+    paper_atoms: int
+    snapshots: int
+    atoms: int
+    temporal_class: str
+    spatial_pattern: str
+    seed: int
+
+
+#: Table I, scaled.  Atom counts marked with the original value keep the
+#: paper's exact N where it is already laptop-sized.
+DATASET_SPECS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec(
+            name="copper-a",
+            state="Solid",
+            code="LAMMPS",
+            paper_snapshots=83,
+            paper_atoms=1_077_290,
+            snapshots=83,
+            atoms=8788,  # fcc 13^3 cells
+            temporal_class="smooth",
+            spatial_pattern="stable-zigzag",
+            seed=101,
+        ),
+        DatasetSpec(
+            name="copper-b",
+            state="Solid",
+            code="LAMMPS",
+            paper_snapshots=5423,
+            paper_atoms=3137,
+            snapshots=560,
+            atoms=3137,  # paper size kept
+            temporal_class="large",
+            spatial_pattern="stable-zigzag",
+            seed=102,
+        ),
+        DatasetSpec(
+            name="helium-a",
+            state="Plasma",
+            code="LAMMPS",
+            paper_snapshots=2338,
+            paper_atoms=106_711,
+            snapshots=200,
+            atoms=5488,  # bcc 14^3 cells
+            temporal_class="smooth",
+            spatial_pattern="erratic-zigzag",
+            seed=103,
+        ),
+        DatasetSpec(
+            name="helium-b",
+            state="Plasma",
+            code="EXAALT",
+            paper_snapshots=7852,
+            paper_atoms=1037,
+            snapshots=800,
+            atoms=1037,  # paper size kept
+            temporal_class="large",
+            spatial_pattern="stable-zigzag",
+            seed=104,
+        ),
+        DatasetSpec(
+            name="adk",
+            state="Protein",
+            code="CHARMM",
+            paper_snapshots=4187,
+            paper_atoms=3341,
+            snapshots=420,
+            atoms=3341,  # paper size kept
+            temporal_class="large",
+            spatial_pattern="random",
+            seed=105,
+        ),
+        DatasetSpec(
+            name="ifabp",
+            state="Protein",
+            code="CHARMM",
+            paper_snapshots=500,
+            paper_atoms=12_445,
+            snapshots=120,
+            atoms=12_445,  # paper size kept
+            temporal_class="large",
+            spatial_pattern="random",
+            seed=106,
+        ),
+        DatasetSpec(
+            name="pt",
+            state="Solid",
+            code="LAMMPS",
+            paper_snapshots=300,
+            paper_atoms=2_371_092,
+            snapshots=150,
+            atoms=8808,  # fcc slab + 20 adatoms
+            temporal_class="smooth",
+            spatial_pattern="stair-wise",
+            seed=107,
+        ),
+        DatasetSpec(
+            name="lj",
+            state="Liquid",
+            code="LAMMPS",
+            paper_snapshots=50,
+            paper_atoms=6_912_000,
+            snapshots=50,
+            atoms=6912,  # the paper's cell / 1000 (real MD run)
+            temporal_class="smooth",
+            spatial_pattern="uniform",
+            seed=108,
+        ),
+        DatasetSpec(
+            name="hacc-1",
+            state="Cosmology",
+            code="HACC",
+            paper_snapshots=30,
+            paper_atoms=15_767_098,
+            snapshots=30,
+            atoms=20_000,
+            temporal_class="smooth",
+            spatial_pattern="uniform",
+            seed=109,
+        ),
+        DatasetSpec(
+            name="hacc-2",
+            state="Cosmology",
+            code="HACC",
+            paper_snapshots=80,
+            paper_atoms=13_131_491,
+            snapshots=60,
+            atoms=13_000,
+            temporal_class="smooth",
+            spatial_pattern="uniform",
+            seed=110,
+        ),
+    ]
+}
+
+#: The eight MD datasets of the main evaluation (Figures 11/12/15).
+MD_DATASETS = (
+    "copper-a",
+    "copper-b",
+    "helium-a",
+    "helium-b",
+    "adk",
+    "ifabp",
+    "pt",
+    "lj",
+)
+
+#: The generalizability datasets of Figure 16.
+HACC_DATASETS = ("hacc-1", "hacc-2")

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch everything produced here with a single ``except`` clause
+while still distinguishing the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class CompressionError(ReproError):
+    """Raised when a compressor cannot encode the data it was given."""
+
+
+class DecompressionError(ReproError):
+    """Raised when a byte stream cannot be decoded.
+
+    Typical causes are a truncated stream, a corrupted section header, or a
+    blob produced by a different compressor/version.
+    """
+
+
+class UnsupportedDatasetError(CompressionError):
+    """Raised when a compressor declines a dataset it cannot handle.
+
+    This mirrors the runtime exceptions the paper reports for TNG and HRTC
+    on large datasets (Section VII-A5): both reference implementations abort
+    when the atom count exceeds their internal limits.  Our reimplementations
+    reproduce that behaviour explicitly through this exception.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object holds inconsistent settings."""
+
+
+class ContainerFormatError(DecompressionError):
+    """Raised when an ``.mdz`` container is malformed or has a bad magic."""
+
+
+class SimulationError(ReproError):
+    """Raised when the MD simulation substrate is driven into a bad state.
+
+    Examples: exploding dynamics (non-finite coordinates), a box too small
+    for the interaction cutoff, or invalid thermostat parameters.
+    """

@@ -1,0 +1,34 @@
+"""On-disk formats and streaming pipelines.
+
+* :mod:`repro.io.container` — the ``.mdz`` container: header, per-buffer
+  per-axis payloads, random batch access;
+* :mod:`repro.io.batch` — the streaming harness that drives any registered
+  compressor over a (snapshots, atoms) stream in buffers, collecting sizes
+  and timings (what every benchmark uses);
+* :mod:`repro.io.dump` — LAMMPS-style text dump reader/writer.
+"""
+
+from .batch import run_stream, stream_error_bound
+from .container import (
+    ContainerInfo,
+    read_container,
+    read_container_batch,
+    read_container_info,
+    write_container,
+)
+from .dump import read_dump, write_dump
+from .fields import compress_fields, decompress_fields
+
+__all__ = [
+    "ContainerInfo",
+    "compress_fields",
+    "decompress_fields",
+    "read_container",
+    "read_container_info",
+    "read_container_batch",
+    "read_dump",
+    "run_stream",
+    "stream_error_bound",
+    "write_container",
+    "write_dump",
+]

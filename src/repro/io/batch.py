@@ -1,0 +1,135 @@
+"""Streaming harness: drive any registered compressor over a stream.
+
+This is the single code path every benchmark and experiment uses to run a
+compressor on one coordinate-axis stream, buffer by buffer, so compression
+ratios, error metrics, and timings are measured identically for MDZ and
+every baseline (Section VII's methodology).
+
+Conventions, matching the paper:
+
+* the *value-range-relative* error bound epsilon resolves to the absolute
+  bound ``epsilon * (max - min)`` over the stream
+  (:func:`stream_error_bound`);
+* the raw size is the stream's canonical storage footprint (float32, the
+  SDRBench convention for MD data) unless the array is float64;
+* compressed size is the sum of all self-contained per-buffer blobs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.api import (
+    SessionMeta,
+    StreamResult,
+    create_compressor,
+)
+
+
+def stream_error_bound(data: np.ndarray, epsilon: float) -> float:
+    """Absolute bound from a value-range-relative epsilon."""
+    value_range = float(np.max(data) - np.min(data))
+    if value_range == 0.0:
+        return float(epsilon)
+    return float(epsilon) * value_range
+
+
+@dataclass
+class DecodedStream:
+    """Reconstruction plus the result bookkeeping."""
+
+    result: StreamResult
+    reconstruction: np.ndarray | None = None
+    per_batch_sizes: list[int] = field(default_factory=list)
+
+
+def run_stream(
+    compressor_name: str,
+    data: np.ndarray,
+    epsilon: float | None,
+    buffer_size: int,
+    decompress: bool = False,
+    original_atoms: int | None = None,
+    label: str = "",
+) -> DecodedStream:
+    """Compress (and optionally decompress) one (T, N) stream in buffers.
+
+    Parameters
+    ----------
+    compressor_name:
+        Any name from :func:`repro.baselines.available_compressors`.
+    data:
+        The (snapshots, atoms) coordinate stream.
+    epsilon:
+        Value-range-relative error bound; ``None`` for lossless
+        compressors.
+    buffer_size:
+        Snapshots per buffer (the paper's BS).
+    decompress:
+        Also run decompression, filling ``reconstruction`` and the
+        decompression timing.
+    original_atoms:
+        Paper-scale atom count for capability checks (TNG/HRTC limits).
+
+    Raises
+    ------
+    UnsupportedDatasetError
+        Propagated from compressors that veto the dataset — callers decide
+        whether that is an excluded case (benchmarks) or an error (users).
+    """
+    data = np.asarray(data)
+    if data.ndim != 2:
+        raise ValueError(f"expected a (snapshots, atoms) stream, got {data.shape}")
+    t_count, n_atoms = data.shape
+    compressor = create_compressor(compressor_name)
+    meta = SessionMeta(
+        n_atoms=n_atoms,
+        original_atoms=original_atoms,
+        value_range=float(data.max() - data.min()),
+        label=label,
+    )
+    error_bound = None
+    if not compressor.is_lossless:
+        if epsilon is None:
+            raise ValueError(f"{compressor_name} requires an error bound")
+        error_bound = stream_error_bound(data, epsilon)
+    compressor.begin(error_bound, meta)
+    blobs: list[bytes] = []
+    t_start = time.perf_counter()
+    for t0 in range(0, t_count, buffer_size):
+        blobs.append(compressor.compress_batch(data[t0 : t0 + buffer_size]))
+    compress_seconds = time.perf_counter() - t_start
+    raw_bytes = _raw_size(data)
+    result = StreamResult(
+        compressed_bytes=sum(len(b) for b in blobs),
+        raw_bytes=raw_bytes,
+        compress_seconds=compress_seconds,
+        blobs=blobs,
+    )
+    decoded = DecodedStream(
+        result=result, per_batch_sizes=[len(b) for b in blobs]
+    )
+    if decompress:
+        decoder = create_compressor(compressor_name)
+        decoder.begin(error_bound, meta)
+        out = np.empty((t_count, n_atoms), dtype=np.float64)
+        t_start = time.perf_counter()
+        row = 0
+        for blob in blobs:
+            piece = np.asarray(decoder.decompress_batch(blob), dtype=np.float64)
+            if piece.ndim == 1:
+                piece = piece[None, :]
+            out[row : row + piece.shape[0]] = piece
+            row += piece.shape[0]
+        result.decompress_seconds = time.perf_counter() - t_start
+        decoded.reconstruction = out
+    return decoded
+
+
+def _raw_size(data: np.ndarray) -> int:
+    """Canonical raw footprint: float32 unless the input is float64."""
+    itemsize = 8 if data.dtype == np.float64 else 4
+    return int(data.size) * itemsize

@@ -1,0 +1,253 @@
+"""The ``.mdz`` container format.
+
+Layout (all little-endian, sections framed by :mod:`repro.serde`)::
+
+    magic   : 4 bytes  b"MDZ1"
+    header  : JSON     {snapshots, atoms, axes, dtype, buffer_size,
+                        error_bounds (per axis), scale, sequence, method}
+    index   : JSON     byte offsets of every (buffer, axis) payload within
+                        the payload area, buffer-major
+    payload : BYTES    concatenation of the per-buffer per-axis blobs
+
+The index enables random access to any buffer; buffers coded by VQ are
+fully independent, while VQT/MT buffers additionally need the session
+reference (rebuilt by decoding buffer 0 once).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.api import SessionMeta
+from ..core.config import MDZConfig
+from ..core.mdz import MDZAxisCompressor
+from ..exceptions import CompressionError, ContainerFormatError
+from ..serde import BlobReader, BlobWriter
+
+MAGIC = b"MDZ1"
+
+
+def _axis_bounds(positions: np.ndarray, config: MDZConfig) -> list[float]:
+    """Absolute per-axis error bounds from the configured mode."""
+    bounds = []
+    for a in range(positions.shape[2]):
+        axis = positions[:, :, a]
+        value_range = float(axis.max() - axis.min())
+        bounds.append(config.absolute_bound(value_range))
+    return bounds
+
+
+def _sessions(
+    config: MDZConfig,
+    bounds: list[float],
+    n_atoms: int,
+) -> list[MDZAxisCompressor]:
+    sessions = []
+    for eb in bounds:
+        session = MDZAxisCompressor(config)
+        session.begin(eb, SessionMeta(n_atoms=n_atoms))
+        sessions.append(session)
+    return sessions
+
+
+def write_container(positions: np.ndarray, config: MDZConfig) -> bytes:
+    """Compress a (snapshots, atoms, axes) array into a container."""
+    positions = np.asarray(positions)
+    if positions.ndim != 3:
+        raise CompressionError(
+            f"expected a (snapshots, atoms, axes) array, got {positions.shape}"
+        )
+    t_count, n_atoms, n_axes = positions.shape
+    if t_count == 0 or n_atoms == 0:
+        raise CompressionError("cannot compress an empty trajectory")
+    work = positions.astype(np.float64)
+    bounds = _axis_bounds(work, config)
+    sessions = _sessions(config, bounds, n_atoms)
+    bs = config.buffer_size
+    blobs: list[bytes] = []
+    offsets: list[int] = []
+    cursor = 0
+    for t0 in range(0, t_count, bs):
+        chunk = work[t0 : t0 + bs]
+        for a in range(n_axes):
+            blob = sessions[a].compress_batch(chunk[:, :, a])
+            offsets.append(cursor)
+            cursor += len(blob)
+            blobs.append(blob)
+    writer = BlobWriter()
+    writer.write_bytes(MAGIC)
+    writer.write_json(
+        {
+            "snapshots": t_count,
+            "atoms": n_atoms,
+            "axes": n_axes,
+            "dtype": np.asarray(positions).dtype.str,
+            "buffer_size": bs,
+            "error_bounds": bounds,
+            "scale": config.quantization_scale,
+            "sequence": config.sequence_mode,
+            "method": config.method,
+            "lossless": config.lossless_backend,
+        }
+    )
+    payload = b"".join(blobs)
+    writer.write_json(
+        {
+            "offsets": offsets,
+            "total": cursor,
+            "crc32": zlib.crc32(payload) & 0xFFFFFFFF,
+        }
+    )
+    writer.write_bytes(payload)
+    return writer.getvalue()
+
+
+def _open_container(blob: bytes):
+    reader = BlobReader(blob)
+    magic = reader.read_bytes()
+    if magic != MAGIC:
+        raise ContainerFormatError(
+            f"bad container magic {magic!r}; expected {MAGIC!r}"
+        )
+    header = reader.read_json()
+    index = reader.read_json()
+    payload = reader.read_bytes()
+    if int(index["total"]) != len(payload):
+        raise ContainerFormatError(
+            f"payload length {len(payload)} does not match index total "
+            f"{index['total']}"
+        )
+    expected_crc = index.get("crc32")
+    if expected_crc is not None:
+        actual = zlib.crc32(payload) & 0xFFFFFFFF
+        if actual != int(expected_crc):
+            raise ContainerFormatError(
+                f"payload checksum mismatch (stored {expected_crc:#010x}, "
+                f"computed {actual:#010x}): the container is corrupted"
+            )
+    return header, index, payload
+
+
+def _config_from_header(header: dict) -> MDZConfig:
+    return MDZConfig(
+        error_bound=1.0e-3,  # per-axis absolute bounds travel separately
+        buffer_size=int(header["buffer_size"]),
+        quantization_scale=int(header["scale"]),
+        sequence_mode=str(header["sequence"]),
+        method=str(header["method"]),
+        lossless_backend=str(header["lossless"]),
+    )
+
+
+def _blob_at(payload: bytes, offsets: list[int], i: int) -> bytes:
+    start = offsets[i]
+    end = offsets[i + 1] if i + 1 < len(offsets) else len(payload)
+    return payload[start:end]
+
+
+def read_container(blob: bytes) -> np.ndarray:
+    """Decompress a full container to a float64 (T, N, axes) array."""
+    header, index, payload = _open_container(blob)
+    t_count = int(header["snapshots"])
+    n_atoms = int(header["atoms"])
+    n_axes = int(header["axes"])
+    bs = int(header["buffer_size"])
+    config = _config_from_header(header)
+    bounds = [float(b) for b in header["error_bounds"]]
+    sessions = _sessions(config, bounds, n_atoms)
+    offsets = [int(o) for o in index["offsets"]]
+    out = np.empty((t_count, n_atoms, n_axes), dtype=np.float64)
+    blob_i = 0
+    for t0 in range(0, t_count, bs):
+        for a in range(n_axes):
+            piece = _blob_at(payload, offsets, blob_i)
+            out[t0 : t0 + bs, :, a] = sessions[a].decompress_batch(piece)
+            blob_i += 1
+    return out
+
+
+@dataclass(frozen=True)
+class ContainerInfo:
+    """Structural summary of a container (no payload decoding).
+
+    ``methods_per_axis`` maps, per axis, the method name to the number of
+    buffers coded with it — which is how ADP's per-axis choices (Table VI)
+    can be inspected post hoc.
+    """
+
+    snapshots: int
+    atoms: int
+    axes: int
+    buffer_size: int
+    error_bounds: tuple[float, ...]
+    method: str
+    sequence: str
+    n_buffers: int
+    payload_bytes: int
+    methods_per_axis: tuple[dict[str, int], ...]
+
+
+def read_container_info(blob: bytes) -> ContainerInfo:
+    """Inspect a container: header fields plus the per-buffer method tags."""
+    from ..core.methods import METHOD_NAMES
+    from ..sz.lossless import lossless_decompress
+
+    header, index, payload = _open_container(blob)
+    n_axes = int(header["axes"])
+    offsets = [int(o) for o in index["offsets"]]
+    n_buffers = len(offsets) // n_axes
+    methods: list[dict[str, int]] = [dict() for _ in range(n_axes)]
+    for i in range(len(offsets)):
+        axis = i % n_axes
+        piece = _blob_at(payload, offsets, i)
+        reader = BlobReader(lossless_decompress(piece))
+        method_id = int(reader.read_json()["m"])
+        name = METHOD_NAMES.get(method_id, f"?{method_id}")
+        methods[axis][name] = methods[axis].get(name, 0) + 1
+    return ContainerInfo(
+        snapshots=int(header["snapshots"]),
+        atoms=int(header["atoms"]),
+        axes=n_axes,
+        buffer_size=int(header["buffer_size"]),
+        error_bounds=tuple(float(b) for b in header["error_bounds"]),
+        method=str(header["method"]),
+        sequence=str(header["sequence"]),
+        n_buffers=n_buffers,
+        payload_bytes=len(payload),
+        methods_per_axis=tuple(methods),
+    )
+
+
+def read_container_batch(blob: bytes, batch_index: int) -> np.ndarray:
+    """Decode one buffer (all axes) from a container.
+
+    Buffer 0 is decoded first when needed to rebuild the MT/VQT session
+    reference; VQ-coded containers decode the target buffer directly.
+    """
+    header, index, payload = _open_container(blob)
+    t_count = int(header["snapshots"])
+    n_atoms = int(header["atoms"])
+    n_axes = int(header["axes"])
+    bs = int(header["buffer_size"])
+    n_batches = (t_count + bs - 1) // bs
+    if not 0 <= batch_index < n_batches:
+        raise ContainerFormatError(
+            f"batch {batch_index} out of range (container has {n_batches})"
+        )
+    config = _config_from_header(header)
+    bounds = [float(b) for b in header["error_bounds"]]
+    sessions = _sessions(config, bounds, n_atoms)
+    offsets = [int(o) for o in index["offsets"]]
+    rows = min(bs, t_count - batch_index * bs)
+    out = np.empty((rows, n_atoms, n_axes), dtype=np.float64)
+    for a in range(n_axes):
+        if batch_index > 0:
+            # Prime the session reference from buffer 0 of this axis.
+            head = _blob_at(payload, offsets, a)
+            sessions[a].decompress_batch(head)
+        piece = _blob_at(payload, offsets, batch_index * n_axes + a)
+        out[:, :, a] = sessions[a].decompress_batch(piece)
+    return out

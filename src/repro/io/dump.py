@@ -1,0 +1,110 @@
+"""LAMMPS-style text dump reader/writer.
+
+The classic ``dump atom`` format::
+
+    ITEM: TIMESTEP
+    1000
+    ITEM: NUMBER OF ATOMS
+    3137
+    ITEM: BOX BOUNDS pp pp pp
+    0.0 36.15
+    0.0 36.15
+    0.0 36.15
+    ITEM: ATOMS id x y z
+    1 0.000 0.000 0.000
+    ...
+
+Used by the quickstart example and the mini-LAMMPS driver so the package
+round-trips real trajectory files, not just in-memory arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+import numpy as np
+
+from ..exceptions import ReproError
+
+
+class DumpFormatError(ReproError):
+    """Raised when a dump file deviates from the expected structure."""
+
+
+@dataclass
+class DumpFrame:
+    """One snapshot of a dump file."""
+
+    timestep: int
+    box: np.ndarray  # (3, 2) lo/hi bounds
+    positions: np.ndarray  # (atoms, 3)
+
+
+def write_dump(
+    path: str | Path,
+    frames: Iterable[DumpFrame],
+) -> int:
+    """Write frames to a dump file; returns the number of frames written."""
+    count = 0
+    with open(path, "w") as fh:
+        for frame in frames:
+            _write_frame(fh, frame)
+            count += 1
+    return count
+
+
+def _write_frame(fh: TextIO, frame: DumpFrame) -> None:
+    n = frame.positions.shape[0]
+    fh.write("ITEM: TIMESTEP\n")
+    fh.write(f"{frame.timestep}\n")
+    fh.write("ITEM: NUMBER OF ATOMS\n")
+    fh.write(f"{n}\n")
+    fh.write("ITEM: BOX BOUNDS pp pp pp\n")
+    for lo, hi in frame.box:
+        fh.write(f"{lo:.10g} {hi:.10g}\n")
+    fh.write("ITEM: ATOMS id x y z\n")
+    for i, (x, y, z) in enumerate(frame.positions, start=1):
+        fh.write(f"{i} {x:.8g} {y:.8g} {z:.8g}\n")
+
+
+def read_dump(path: str | Path) -> Iterator[DumpFrame]:
+    """Iterate over the frames of a dump file."""
+    with open(path) as fh:
+        while True:
+            line = fh.readline()
+            if not line:
+                return
+            if line.strip() != "ITEM: TIMESTEP":
+                raise DumpFormatError(f"expected TIMESTEP item, got {line!r}")
+            timestep = int(fh.readline())
+            if fh.readline().strip() != "ITEM: NUMBER OF ATOMS":
+                raise DumpFormatError("expected NUMBER OF ATOMS item")
+            n = int(fh.readline())
+            bounds_header = fh.readline()
+            if not bounds_header.startswith("ITEM: BOX BOUNDS"):
+                raise DumpFormatError("expected BOX BOUNDS item")
+            box = np.array(
+                [[float(v) for v in fh.readline().split()] for _ in range(3)]
+            )
+            atoms_header = fh.readline()
+            if not atoms_header.startswith("ITEM: ATOMS"):
+                raise DumpFormatError("expected ATOMS item")
+            positions = np.empty((n, 3))
+            for i in range(n):
+                parts = fh.readline().split()
+                if len(parts) < 4:
+                    raise DumpFormatError(
+                        f"truncated atom line at frame {timestep}, atom {i}"
+                    )
+                positions[i] = [float(parts[1]), float(parts[2]), float(parts[3])]
+            yield DumpFrame(timestep=timestep, box=box, positions=positions)
+
+
+def frames_to_array(frames: Iterable[DumpFrame]) -> np.ndarray:
+    """Stack frames into a (snapshots, atoms, 3) array."""
+    stacked = [frame.positions for frame in frames]
+    if not stacked:
+        raise DumpFormatError("dump file contains no frames")
+    return np.stack(stacked)

@@ -1,0 +1,20 @@
+"""Mini-LAMMPS integration (Section VII-D, Table VII).
+
+The paper integrates MDZ into LAMMPS's dump subsystem and measures the
+runtime breakdown of the Lennard-Jones benchmark with and without in-situ
+compression.  :mod:`repro.lammps.driver` reproduces the experiment against
+this package's MD engine: the dump path either writes raw coordinates to a
+modelled parallel file system or pipes them through MDZ first;
+:mod:`repro.lammps.breakdown` formats the Comp/Comm/Output rows.
+"""
+
+from .driver import DumpSink, LJBenchmarkResult, run_lj_benchmark
+from .breakdown import breakdown_row, format_breakdown_table
+
+__all__ = [
+    "DumpSink",
+    "LJBenchmarkResult",
+    "breakdown_row",
+    "format_breakdown_table",
+    "run_lj_benchmark",
+]

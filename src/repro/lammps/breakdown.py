@@ -1,0 +1,26 @@
+"""Formatting of the Table VII runtime-breakdown rows."""
+
+from __future__ import annotations
+
+from .driver import LJBenchmarkResult
+
+
+def breakdown_row(result: LJBenchmarkResult) -> str:
+    """One formatted Table VII row."""
+    row = result.row()
+    option = "w MDZ  " if row["mdz"] else "w/o MDZ"
+    return (
+        f"F={row['dump_every']:>5d}  atoms={row['atoms']:>7d}  {option}  "
+        f"duration={row['duration_s']:7.2f}s  "
+        f"comp={row['comp']:6.1%}  comm={row['comm']:6.1%}  "
+        f"output={row['output']:7.2%}  output-CR={row['output_cr']:6.1f}"
+    )
+
+
+def format_breakdown_table(results: list[LJBenchmarkResult]) -> str:
+    """The full Table VII, one line per configuration."""
+    header = (
+        "Runtime breakdown of the LJ benchmark "
+        "(F: dump frequency; output includes compression + modelled PFS write)"
+    )
+    return "\n".join([header] + [breakdown_row(r) for r in results])

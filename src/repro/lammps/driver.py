@@ -1,0 +1,200 @@
+"""LJ-benchmark driver with an MDZ-enabled dump path (Table VII).
+
+``run_lj_benchmark`` integrates the LAMMPS ``bench/in.lj`` state point
+(FCC melt, rho* = 0.8442, T* = 1.44, cutoff 2.5 sigma) with the package's
+MD engine and dumps coordinates every ``dump_every`` steps through a
+:class:`DumpSink`:
+
+* without MDZ the sink serializes raw float32 coordinates and charges the
+  modelled parallel-file-system write time;
+* with MDZ the sink buffers ``buffer_size`` snapshots per axis, compresses
+  them in situ with :class:`~repro.core.mdz.MDZAxisCompressor`, and charges
+  the (much smaller) compressed write.
+
+Compression time is *real* measured time; only the PFS write is modelled
+(bytes / bandwidth), because this reproduction has no parallel file system
+— the substitution is documented in DESIGN.md.  The paper's conclusion —
+output share shrinks at high dump rates, total runtime unchanged — emerges
+from the same trade-off.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.api import SessionMeta
+from ..core.config import MDZConfig
+from ..core.mdz import MDZAxisCompressor
+from ..md.lattice import fcc_lattice
+from ..md.simulation import MDSimulation, SimulationReport
+
+#: Modelled per-node parallel-file-system write bandwidth (bytes/s).
+#:
+#: The value is *scaled to this substrate*, preserving the dimensionless
+#: ratio that drives Table VII.  From the paper's 64K-atom F=100 row, raw
+#: dumping sustains ~18 MB/s per node while MDZ processes ~130 MB/s — the
+#: compressor is ~7x faster than the file system.  Our Python MDZ runs at
+#: ~4 MB/s, so the modelled PFS is set 7x slower than that; the resulting
+#: output-share behaviour (MDZ wins at high dump rates, negligible at low
+#: ones) is then directly comparable to the paper's.
+PFS_BANDWIDTH = 0.6e6
+
+#: LAMMPS LJ benchmark state point.
+LJ_DENSITY = 0.8442
+LJ_TEMPERATURE = 1.44
+
+
+@dataclass
+class DumpSink:
+    """Dump consumer: raw writes or in-situ MDZ compression.
+
+    Parameters
+    ----------
+    use_mdz:
+        Pipe snapshots through MDZ before the (modelled) PFS write.
+    buffer_size:
+        Snapshots buffered per compression call (the paper's BS).
+    epsilon:
+        Value-range-relative error bound for the MDZ path.
+    pfs_bandwidth:
+        Modelled write bandwidth in bytes/s.
+    """
+
+    use_mdz: bool
+    buffer_size: int = 10
+    epsilon: float = 1e-3
+    pfs_bandwidth: float = PFS_BANDWIDTH
+    raw_bytes: int = 0
+    written_bytes: int = 0
+    compress_seconds: float = 0.0
+    _buffer: list[np.ndarray] = field(default_factory=list)
+    _sessions: list[MDZAxisCompressor] | None = None
+
+    def consume(self, step: int, positions: np.ndarray) -> float:
+        """Dump one snapshot; returns modelled write seconds to charge."""
+        snapshot = positions.astype(np.float32)
+        self.raw_bytes += snapshot.nbytes
+        if not self.use_mdz:
+            self.written_bytes += snapshot.nbytes
+            return snapshot.nbytes / self.pfs_bandwidth
+        self._buffer.append(snapshot)
+        if len(self._buffer) < self.buffer_size:
+            return 0.0
+        return self._flush()
+
+    def finish(self) -> float:
+        """Flush any buffered snapshots; returns modelled write seconds."""
+        if self.use_mdz and self._buffer:
+            return self._flush()
+        return 0.0
+
+    @property
+    def compression_ratio(self) -> float:
+        """Achieved raw/written ratio (1.0 for the raw path)."""
+        return self.raw_bytes / max(self.written_bytes, 1)
+
+    def _flush(self) -> float:
+        batch = np.stack(self._buffer)  # (B, N, 3)
+        self._buffer.clear()
+        t0 = time.perf_counter()
+        if self._sessions is None:
+            self._sessions = []
+            for a in range(3):
+                axis = batch[:, :, a].astype(np.float64)
+                bound = self.epsilon * float(axis.max() - axis.min())
+                session = MDZAxisCompressor(MDZConfig(method="adp"))
+                session.begin(
+                    max(bound, 1e-12), SessionMeta(n_atoms=batch.shape[1])
+                )
+                self._sessions.append(session)
+        compressed = 0
+        for a in range(3):
+            blob = self._sessions[a].compress_batch(
+                batch[:, :, a].astype(np.float64)
+            )
+            compressed += len(blob)
+        self.compress_seconds += time.perf_counter() - t0
+        self.written_bytes += compressed
+        return compressed / self.pfs_bandwidth
+
+
+@dataclass
+class LJBenchmarkResult:
+    """Outcome of one Table VII row."""
+
+    n_atoms: int
+    dump_every: int
+    use_mdz: bool
+    report: SimulationReport
+    sink: DumpSink
+
+    @property
+    def duration_seconds(self) -> float:
+        """Total accounted runtime."""
+        return self.report.total_seconds
+
+    def row(self) -> dict[str, float]:
+        """Table VII row: duration plus Comp/Comm/Output fractions."""
+        fractions = self.report.fractions()
+        return {
+            "atoms": self.n_atoms,
+            "dump_every": self.dump_every,
+            "mdz": self.use_mdz,
+            "duration_s": self.duration_seconds,
+            "comp": fractions["comp"],
+            "comm": fractions["comm"],
+            "output": fractions["output"],
+            "output_cr": self.sink.compression_ratio,
+        }
+
+
+def run_lj_benchmark(
+    cells: int,
+    steps: int,
+    dump_every: int,
+    use_mdz: bool,
+    buffer_size: int = 10,
+    epsilon: float = 1e-3,
+    equilibration: int = 40,
+    seed: int = 11,
+    pfs_bandwidth: float = PFS_BANDWIDTH,
+) -> LJBenchmarkResult:
+    """Run one LJ benchmark configuration (one Table VII row).
+
+    ``cells`` is the FCC cell count per dimension (atoms = 4 * cells^3).
+    """
+    a = (4.0 / LJ_DENSITY) ** (1.0 / 3.0)
+    lattice = fcc_lattice((cells,) * 3, a)
+    sim = MDSimulation(
+        lattice.positions,
+        lattice.box,
+        temperature=LJ_TEMPERATURE,
+        dt=0.005,
+        seed=seed,
+    )
+    sim.run(equilibration)
+    sink = DumpSink(
+        use_mdz=use_mdz,
+        buffer_size=buffer_size,
+        epsilon=epsilon,
+        pfs_bandwidth=pfs_bandwidth,
+    )
+    report = SimulationReport()
+    sim.run(
+        steps,
+        dump_every=dump_every,
+        dump_callback=sink.consume,
+        report=report,
+    )
+    report.output_seconds += sink.finish()
+    report.dumped_bytes = sink.written_bytes
+    return LJBenchmarkResult(
+        n_atoms=sim.n_atoms,
+        dump_every=dump_every,
+        use_mdz=use_mdz,
+        report=report,
+        sink=sink,
+    )

@@ -1,0 +1,43 @@
+"""Molecular-dynamics simulation substrate (the data source of Figure 1).
+
+The paper's datasets come from LAMMPS/CHARMM/EXAALT runs on LANL and ANL
+supercomputers; this package is the laptop-scale substitute that produces
+statistically equivalent particle trajectories:
+
+* :mod:`repro.md.lattice` — FCC/BCC crystal builders and surface slabs;
+* :mod:`repro.md.neighbors` — linked-cell neighbor search under periodic
+  boundary conditions;
+* :mod:`repro.md.potentials` — Lennard-Jones forces/energies on cell lists;
+* :mod:`repro.md.integrators` — velocity Verlet and a Langevin thermostat;
+* :mod:`repro.md.simulation` — the run loop with dump hooks (a miniature
+  LAMMPS used for the LJ dataset and the Table VII driver);
+* :mod:`repro.md.models` — cheap surrogate dynamics (Einstein crystal,
+  defect hopping, Rouse chains) for the datasets where full MD would be
+  wasteful; they reproduce exactly the statistical features MDZ exploits.
+"""
+
+from .lattice import bcc_lattice, fcc_lattice, surface_slab
+from .neighbors import CellList
+from .potentials import LennardJones
+from .integrators import LangevinThermostat, VelocityVerlet
+from .simulation import MDSimulation, SimulationReport
+from .models import (
+    DefectHoppingModel,
+    EinsteinCrystalModel,
+    RouseChainModel,
+)
+
+__all__ = [
+    "CellList",
+    "DefectHoppingModel",
+    "EinsteinCrystalModel",
+    "LangevinThermostat",
+    "LennardJones",
+    "MDSimulation",
+    "RouseChainModel",
+    "SimulationReport",
+    "VelocityVerlet",
+    "bcc_lattice",
+    "fcc_lattice",
+    "surface_slab",
+]

@@ -1,0 +1,216 @@
+"""Bit-level stream I/O with vectorized helpers.
+
+Two layers are provided:
+
+* :class:`BitWriter` / :class:`BitReader` — scalar bit streams used by the
+  baseline coders (FPC, Gorilla, ZFP-like) where code layout is inherently
+  sequential.
+* :func:`pack_codes` / :func:`unpack_codes` — fully vectorized packing of
+  per-symbol variable-length codes, used by the Huffman encoder where the
+  (code, length) pairs for the whole symbol array are known up front.
+
+Also included are LEB128 varints (:func:`write_varint` and friends) and the
+zigzag mapping between signed and unsigned integers that several integer
+coders in this package share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DecompressionError
+
+
+class BitWriter:
+    """Appends individual bit fields to a growing byte buffer (MSB first)."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._acc = 0  # pending bits, left-aligned in an int
+        self._nbits = 0
+
+    def write(self, value: int, nbits: int) -> None:
+        """Append the lowest ``nbits`` bits of ``value`` (MSB first)."""
+        if nbits < 0:
+            raise ValueError("nbits must be non-negative")
+        if nbits == 0:
+            return
+        value &= (1 << nbits) - 1
+        self._acc = (self._acc << nbits) | value
+        self._nbits += nbits
+        while self._nbits >= 8:
+            self._nbits -= 8
+            self._bytes.append((self._acc >> self._nbits) & 0xFF)
+        self._acc &= (1 << self._nbits) - 1
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit."""
+        self.write(bit & 1, 1)
+
+    def getvalue(self) -> bytes:
+        """Return the stream, zero-padding the final partial byte."""
+        out = bytes(self._bytes)
+        if self._nbits:
+            out += bytes([(self._acc << (8 - self._nbits)) & 0xFF])
+        return out
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+        return 8 * len(self._bytes) + self._nbits
+
+
+class BitReader:
+    """Reads bit fields from a byte string produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # bit cursor
+
+    def read(self, nbits: int) -> int:
+        """Read ``nbits`` bits (MSB first) and return them as an int."""
+        if nbits == 0:
+            return 0
+        end = self._pos + nbits
+        if end > 8 * len(self._data):
+            raise DecompressionError("bit stream exhausted")
+        value = 0
+        pos = self._pos
+        data = self._data
+        remaining = nbits
+        while remaining > 0:
+            byte_idx, bit_idx = divmod(pos, 8)
+            take = min(8 - bit_idx, remaining)
+            chunk = data[byte_idx] >> (8 - bit_idx - take)
+            chunk &= (1 << take) - 1
+            value = (value << take) | chunk
+            pos += take
+            remaining -= take
+        self._pos = pos
+        return value
+
+    def read_bit(self) -> int:
+        """Read a single bit."""
+        return self.read(1)
+
+    @property
+    def bits_left(self) -> int:
+        """Number of unread bits (includes any trailing padding)."""
+        return 8 * len(self._data) - self._pos
+
+
+def zigzag_encode(values: np.ndarray) -> np.ndarray:
+    """Map signed integers to unsigned: 0,-1,1,-2,2... -> 0,1,2,3,4..."""
+    v = np.asarray(values, dtype=np.int64)
+    return ((v << 1) ^ (v >> 63)).astype(np.uint64)
+
+
+def zigzag_decode(values: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`zigzag_encode`."""
+    u = np.asarray(values, dtype=np.uint64)
+    return ((u >> np.uint64(1)).astype(np.int64)) ^ -(u & np.uint64(1)).astype(
+        np.int64
+    )
+
+
+def encode_varints(values: np.ndarray) -> bytes:
+    """LEB128-encode an array of unsigned integers (vectorized).
+
+    Every value is split into 7-bit groups, little-endian, with the high bit
+    of each byte marking continuation.  The whole array is processed with
+    numpy; no per-element Python loop is involved.
+    """
+    u = np.asarray(values, dtype=np.uint64)
+    if u.size == 0:
+        return b""
+    # Number of 7-bit groups per value (at least one).
+    nbits = np.maximum(1, 64 - clz64(u))
+    ngroups = (nbits + 6) // 7
+    total = int(ngroups.sum())
+    out = np.empty(total, dtype=np.uint8)
+    offsets = np.concatenate(([0], np.cumsum(ngroups)[:-1]))
+    max_groups = int(ngroups.max())
+    shifted = u.copy()
+    for g in range(max_groups):
+        active = ngroups > g
+        if not active.any():
+            break
+        idx = offsets[active] + g
+        byte = (shifted[active] & np.uint64(0x7F)).astype(np.uint8)
+        more = (ngroups[active] - 1) > g
+        out[idx] = byte | (more.astype(np.uint8) << 7)
+        shifted[active] >>= np.uint64(7)
+    return out.tobytes()
+
+
+def decode_varints(data: bytes, count: int) -> np.ndarray:
+    """Decode ``count`` LEB128 varints from ``data`` (vectorized)."""
+    raw = np.frombuffer(data, dtype=np.uint8)
+    if count == 0:
+        return np.empty(0, dtype=np.uint64)
+    is_last = (raw & 0x80) == 0
+    ends = np.flatnonzero(is_last)
+    if ends.size < count:
+        raise DecompressionError("varint stream truncated")
+    ends = ends[:count]
+    starts = np.concatenate(([0], ends[:-1] + 1))
+    lengths = ends - starts + 1
+    if (lengths > 10).any():
+        raise DecompressionError("varint longer than 64 bits")
+    values = np.zeros(count, dtype=np.uint64)
+    max_len = int(lengths.max())
+    for g in range(max_len):
+        active = lengths > g
+        idx = starts[active] + g
+        values[active] |= (raw[idx] & np.uint64(0x7F)).astype(np.uint64) << np.uint64(
+            7 * g
+        )
+    return values
+
+
+def clz64(u: np.ndarray) -> np.ndarray:
+    """Count leading zeros of uint64 values (vectorized)."""
+    u = u.astype(np.uint64)
+    n = np.full(u.shape, 64, dtype=np.int64)
+    x = u.copy()
+    for shift in (32, 16, 8, 4, 2, 1):
+        mask = x >> np.uint64(shift) != 0
+        n = np.where(mask, n - shift, n)
+        x = np.where(mask, x >> np.uint64(shift), x)
+    return np.where(u == 0, 64, n - 1)
+
+
+def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> bytes:
+    """Pack per-symbol variable-length codes into a contiguous bit string.
+
+    Parameters
+    ----------
+    codes:
+        Unsigned integer code values, one per symbol, right-aligned.
+    lengths:
+        Bit length of each code; must satisfy ``1 <= length <= 57``.
+
+    The implementation expands every code into its individual bits with
+    numpy broadcasting and then compacts the valid bits with
+    :func:`numpy.packbits`, so the cost is O(total bits) with no Python loop.
+    """
+    codes = np.asarray(codes, dtype=np.uint64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if codes.size == 0:
+        return b""
+    max_len = int(lengths.max())
+    if max_len > 57:
+        raise ValueError("pack_codes supports code lengths up to 57 bits")
+    # bit k of symbol i (MSB first within the code) lives at column
+    # max_len - lengths[i] + k ... simpler: left-align codes to max_len.
+    aligned = codes << (max_len - lengths).astype(np.uint64)
+    cols = np.arange(max_len, dtype=np.uint64)
+    bits = (aligned[:, None] >> (np.uint64(max_len - 1) - cols)[None, :]) & np.uint64(1)
+    valid = cols[None, :] < lengths[:, None].astype(np.uint64)
+    flat = bits[valid].astype(np.uint8)
+    return np.packbits(flat).tobytes()
+
+
+def unpack_bits(data: bytes) -> np.ndarray:
+    """Expand a byte string into an array of bits (uint8, MSB first)."""
+    return np.unpackbits(np.frombuffer(data, dtype=np.uint8))

@@ -1,0 +1,274 @@
+"""Canonical Huffman coding for integer symbol streams.
+
+This is the entropy-coding stage of the SZ framework (Section III-B of the
+paper): quantization codes are Huffman-encoded before the trailing
+dictionary coder.  The implementation here is self-contained:
+
+* code lengths come from a standard heap-built Huffman tree over the symbol
+  histogram, with an iterative count-halving pass that limits the maximum
+  code length to :data:`MAX_CODE_LENGTH` bits (keeping the decode table
+  small and the vectorized encoder within its 57-bit budget);
+* codes are assigned canonically, so the decoder only needs the per-symbol
+  code *lengths* to rebuild the exact codebook;
+* encoding is fully vectorized (numpy gather + bit packing);
+* decoding walks the bit stream with a flat ``2**maxlen`` lookup table — the
+  classic table-driven decoder — using plain Python integers for the bit
+  accumulator, which profiles fastest on CPython.
+
+The public entry point is :class:`HuffmanCodec` with ``encode`` / ``decode``
+class methods that produce and consume self-contained byte blobs (codebook
+included).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DecompressionError
+from ..serde import BlobReader, BlobWriter
+from .bitio import pack_codes
+
+#: Hard cap on Huffman code length.  Chosen so the flat decode table is at
+#: most 2^16 entries and the vectorized bit packer never sees codes wider
+#: than 57 bits.
+MAX_CODE_LENGTH = 16
+
+
+def _tree_code_lengths(counts: np.ndarray) -> np.ndarray:
+    """Return Huffman code lengths for strictly-positive ``counts``.
+
+    Uses the standard two-queue/heap construction.  For a single-symbol
+    alphabet the length is 1 (a degenerate tree still needs one bit so the
+    decoder can count symbols).
+    """
+    n = counts.size
+    if n == 1:
+        return np.array([1], dtype=np.int64)
+    # Heap of (count, tiebreak, node). Leaves are ints; internal nodes are
+    # [left, right] lists.  Depth assignment happens in a second pass.
+    heap: list[tuple[int, int, object]] = [
+        (int(c), i, i) for i, c in enumerate(counts)
+    ]
+    heapq.heapify(heap)
+    tiebreak = n
+    while len(heap) > 1:
+        c1, _, n1 = heapq.heappop(heap)
+        c2, _, n2 = heapq.heappop(heap)
+        heapq.heappush(heap, (c1 + c2, tiebreak, [n1, n2]))
+        tiebreak += 1
+    lengths = np.zeros(n, dtype=np.int64)
+    # Iterative DFS to assign depths (recursion would overflow on skewed
+    # trees with large alphabets).
+    stack: list[tuple[object, int]] = [(heap[0][2], 0)]
+    while stack:
+        node, depth = stack.pop()
+        if isinstance(node, list):
+            stack.append((node[0], depth + 1))
+            stack.append((node[1], depth + 1))
+        else:
+            lengths[node] = max(depth, 1)
+    return lengths
+
+
+def code_lengths(counts: np.ndarray, max_length: int = MAX_CODE_LENGTH) -> np.ndarray:
+    """Huffman code lengths limited to ``max_length`` bits.
+
+    Length limiting uses the pragmatic count-halving heuristic: if the
+    optimal tree is deeper than the cap, the histogram is flattened
+    (``ceil(count/2)``) and the tree rebuilt.  The result stays a valid
+    prefix code and is within a fraction of a bit of optimal for the
+    distributions produced by quantization.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if (counts <= 0).any():
+        raise ValueError("all symbol counts must be positive")
+    work = counts.copy()
+    while True:
+        lengths = _tree_code_lengths(work)
+        if lengths.max() <= max_length:
+            return lengths
+        work = (work + 1) // 2
+
+
+def canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical codes given per-symbol code lengths.
+
+    Symbols are ranked by (length, symbol index); codes are consecutive
+    integers within each length class.  The decoder rebuilds the identical
+    assignment from the lengths alone.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    order = np.lexsort((np.arange(lengths.size), lengths))
+    codes = np.zeros(lengths.size, dtype=np.uint64)
+    code = 0
+    prev_len = 0
+    for sym in order:
+        length = int(lengths[sym])
+        code <<= length - prev_len
+        codes[sym] = code
+        code += 1
+        prev_len = length
+    return codes
+
+
+@dataclass(frozen=True)
+class _Codebook:
+    symbols: np.ndarray  # int64, the distinct symbol values
+    lengths: np.ndarray  # int64, code length per symbol
+    codes: np.ndarray  # uint64, canonical code per symbol
+
+
+class HuffmanCodec:
+    """Self-contained canonical Huffman encoder/decoder for integer arrays.
+
+    ``encode`` returns a blob embedding the codebook (distinct symbol values
+    and their code lengths) followed by the packed bit stream; ``decode``
+    needs nothing but that blob and the symbol count.
+    """
+
+    @staticmethod
+    def encode(values: np.ndarray, alphabet_hint: int | None = None) -> bytes:
+        """Encode an integer array into a self-describing Huffman blob.
+
+        ``alphabet_hint`` emulates SZ's dense codebook handling: the C
+        implementation allocates and serializes tree structures sized to
+        the *quantization scale*, not to the observed alphabet, which is
+        exactly why large scales slow it down (Figure 9).  When a hint is
+        given (and the symbols fit in ``[0, hint)`` after centering), the
+        codebook is stored as a dense per-symbol length table of that size.
+        """
+        arr = np.asarray(values)
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise TypeError("HuffmanCodec encodes integer arrays only")
+        flat = arr.astype(np.int64, copy=False).ravel()
+        writer = BlobWriter()
+        if flat.size == 0:
+            writer.write_json({"n": 0})
+            return writer.getvalue()
+        symbols, inverse = np.unique(flat, return_inverse=True)
+        counts = np.bincount(inverse, minlength=symbols.size)
+        lengths = code_lengths(counts)
+        codes = canonical_codes(lengths)
+        payload = pack_codes(codes[inverse], lengths[inverse])
+        dense_base: int | None = None
+        if alphabet_hint is not None:
+            lo, hi = int(symbols.min()), int(symbols.max())
+            if hi - lo < alphabet_hint:
+                dense_base = lo
+        writer.write_json({"n": int(flat.size), "dense": dense_base})
+        if dense_base is None:
+            writer.write_array(_compact_symbols(symbols))
+            writer.write_array(lengths.astype(np.uint8))
+        else:
+            dense = np.zeros(int(alphabet_hint), dtype=np.uint8)
+            dense[symbols - dense_base] = lengths
+            writer.write_array(dense)
+        writer.write_bytes(payload)
+        return writer.getvalue()
+
+    @staticmethod
+    def decode(blob: bytes) -> np.ndarray:
+        """Decode a blob produced by :meth:`encode` back to int64 values."""
+        reader = BlobReader(blob)
+        meta = reader.read_json()
+        n = int(meta["n"])
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        dense_base = meta.get("dense")
+        if dense_base is None:
+            symbols = reader.read_array().astype(np.int64)
+            lengths = reader.read_array().astype(np.int64)
+        else:
+            dense = reader.read_array().astype(np.int64)
+            present = np.nonzero(dense)[0]
+            symbols = present + int(dense_base)
+            lengths = dense[present]
+        payload = reader.read_bytes()
+        if symbols.size == 1:
+            # Degenerate single-symbol alphabet: the 1-bit codes carry no
+            # information beyond the count.
+            return np.full(n, symbols[0], dtype=np.int64)
+        codes = canonical_codes(lengths)
+        max_len = int(lengths.max())
+        table_sym, table_len = _build_flat_table(symbols, lengths, codes, max_len)
+        return _decode_stream(payload, n, table_sym, table_len, max_len)
+
+
+def _compact_symbols(symbols: np.ndarray) -> np.ndarray:
+    """Store the symbol table in the narrowest dtype that fits."""
+    lo, hi = int(symbols.min()), int(symbols.max())
+    for dtype in (np.int8, np.int16, np.int32):
+        info = np.iinfo(dtype)
+        if info.min <= lo and hi <= info.max:
+            return symbols.astype(dtype)
+    return symbols.astype(np.int64)
+
+
+def _build_flat_table(
+    symbols: np.ndarray,
+    lengths: np.ndarray,
+    codes: np.ndarray,
+    max_len: int,
+) -> tuple[list[int], list[int]]:
+    """Build the flat ``2**max_len`` decode table (symbol, length) lists."""
+    size = 1 << max_len
+    table_sym = np.zeros(size, dtype=np.int64)
+    table_len = np.zeros(size, dtype=np.int64)
+    for sym_value, length, code in zip(symbols, lengths, codes):
+        length = int(length)
+        shift = max_len - length
+        start = int(code) << shift
+        end = start + (1 << shift)
+        table_sym[start:end] = sym_value
+        table_len[start:end] = length
+    if (table_len == 0).any():
+        # Canonical codebooks always tile the space; a hole means corruption.
+        raise DecompressionError("incomplete Huffman codebook")
+    return table_sym.tolist(), table_len.tolist()
+
+
+def _decode_stream(
+    payload: bytes,
+    n: int,
+    table_sym: list[int],
+    table_len: list[int],
+    max_len: int,
+) -> np.ndarray:
+    """Table-driven sequential decode of ``n`` symbols."""
+    out: list[int] = []
+    append = out.append
+    acc = 0
+    nbits = 0
+    mask = (1 << max_len) - 1
+    remaining = n
+    for byte in payload:
+        acc = ((acc << 8) | byte) & 0xFFFFFFFFFFFFFFFF
+        nbits += 8
+        while nbits >= max_len and remaining:
+            window = (acc >> (nbits - max_len)) & mask
+            length = table_len[window]
+            append(table_sym[window])
+            nbits -= length
+            remaining -= 1
+        if not remaining:
+            break
+    # Flush: trailing symbols whose codes are shorter than max_len may sit
+    # in fewer than max_len leftover bits; zero-pad the window.
+    while remaining:
+        if nbits <= 0:
+            raise DecompressionError("Huffman stream exhausted before count")
+        window = ((acc << (max_len - nbits)) & mask) if nbits < max_len else (
+            (acc >> (nbits - max_len)) & mask
+        )
+        length = table_len[window]
+        if length > nbits:
+            raise DecompressionError("Huffman stream exhausted mid-code")
+        append(table_sym[window])
+        nbits -= length
+        remaining -= 1
+    return np.asarray(out, dtype=np.int64)

@@ -1,0 +1,73 @@
+"""Trailing lossless (dictionary-coder) stage of the SZ pipeline.
+
+The paper uses Zstandard.  Zstd is unavailable in this offline environment,
+so DEFLATE (``zlib``) is the default backend and LZMA/BZ2 are offered as
+alternatives; all three are LZ-family dictionary coders playing the same
+role: squeezing residual redundancy out of the Huffman streams and rewarding
+the Seq-2 reordering (Section VI-C2).  The substitution is documented in
+DESIGN.md.
+
+Blobs are framed with a one-byte backend id so decompression is
+self-describing.
+"""
+
+from __future__ import annotations
+
+import bz2
+import lzma
+import zlib
+
+from ..exceptions import DecompressionError
+
+#: backend name -> (id byte, compress fn, decompress fn)
+_BACKENDS = {
+    "zlib": (1, lambda d, lvl: zlib.compress(d, lvl), zlib.decompress),
+    "lzma": (
+        2,
+        lambda d, lvl: lzma.compress(d, preset=min(lvl, 9)),
+        lzma.decompress,
+    ),
+    "bz2": (3, lambda d, lvl: bz2.compress(d, min(max(lvl, 1), 9)), bz2.decompress),
+}
+_BY_ID = {ident: (name, comp, dec) for name, (ident, comp, dec) in _BACKENDS.items()}
+
+DEFAULT_BACKEND = "zlib"
+DEFAULT_LEVEL = 6
+
+
+def available_backends() -> list[str]:
+    """Names of the lossless backends usable on this system."""
+    return sorted(_BACKENDS)
+
+
+def lossless_compress(
+    data: bytes, backend: str = DEFAULT_BACKEND, level: int = DEFAULT_LEVEL
+) -> bytes:
+    """Compress ``data`` with the chosen dictionary coder.
+
+    The returned blob starts with a backend-id byte so
+    :func:`lossless_decompress` needs no side information.
+    """
+    try:
+        ident, comp, _ = _BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown lossless backend {backend!r}; "
+            f"choose from {available_backends()}"
+        ) from None
+    return bytes([ident]) + comp(data, level)
+
+
+def lossless_decompress(blob: bytes) -> bytes:
+    """Inverse of :func:`lossless_compress`."""
+    if not blob:
+        raise DecompressionError("empty lossless blob")
+    ident = blob[0]
+    try:
+        _, _, dec = _BY_ID[ident]
+    except KeyError:
+        raise DecompressionError(f"unknown lossless backend id {ident}") from None
+    try:
+        return dec(blob[1:])
+    except Exception as exc:
+        raise DecompressionError(f"lossless payload corrupt: {exc}") from exc

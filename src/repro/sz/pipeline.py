@@ -1,0 +1,75 @@
+"""Serialization glue between quantized blocks and byte streams.
+
+This module turns a :class:`~repro.sz.quantizer.QuantizedBlock` into a
+self-describing byte blob (Huffman-coded codes plus a varint side channel)
+and back.  The trailing dictionary-coder stage is *not* applied here — the
+batch assemblers compress the concatenation of all their sections once, as
+the SZ framework does (Huffman output, then Zstd/DEFLATE).
+
+The ``layout`` parameter implements the paper's quantization-sequence
+optimization (Section VI-C2): ``"C"`` stores codes snapshot-major (Seq-1)
+and ``"F"`` particle-major (Seq-2).  Seq-2 groups each particle's codes
+from all snapshots of the batch together, handing the dictionary coder the
+long stable runs that temporally smooth data produces — worth ~35-40 % of
+compression ratio on Helium-B (Table III).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DecompressionError
+from ..serde import BlobReader, BlobWriter
+from .bitio import decode_varints, encode_varints, zigzag_decode, zigzag_encode
+from .huffman import HuffmanCodec
+from .quantizer import QuantizedBlock
+
+
+def encode_int_stream(
+    block: QuantizedBlock,
+    layout: str = "C",
+    alphabet_hint: int | None = None,
+) -> bytes:
+    """Serialize a quantized block (codes + out-of-scope literals).
+
+    ``layout`` selects the flattening order of the code array before
+    entropy coding: ``"C"`` = Seq-1 (snapshot-major), ``"F"`` = Seq-2
+    (particle-major).  ``alphabet_hint`` (typically ``scale + 1``) makes
+    the Huffman stage use SZ's dense codebook representation — see
+    :meth:`repro.sz.huffman.HuffmanCodec.encode`.
+    """
+    if layout not in ("C", "F"):
+        raise ValueError(f"layout must be 'C' or 'F', got {layout!r}")
+    writer = BlobWriter()
+    writer.write_json(
+        {
+            "shape": list(block.codes.shape),
+            "marker": int(block.marker),
+            "order": block.order,
+            "layout": layout,
+            "wide_n": int(block.wide.size),
+        }
+    )
+    flat = block.codes.ravel(order=layout)
+    writer.write_bytes(HuffmanCodec.encode(flat, alphabet_hint=alphabet_hint))
+    writer.write_bytes(encode_varints(zigzag_encode(block.wide)))
+    return writer.getvalue()
+
+
+def decode_int_stream(blob: bytes) -> QuantizedBlock:
+    """Inverse of :func:`encode_int_stream`."""
+    reader = BlobReader(blob)
+    meta = reader.read_json()
+    shape = tuple(int(x) for x in meta["shape"])
+    layout = str(meta.get("layout", "C"))
+    if layout not in ("C", "F"):
+        raise DecompressionError(f"corrupt layout tag {layout!r}")
+    flat = HuffmanCodec.decode(reader.read_bytes())
+    codes = flat.reshape(shape, order=layout)
+    wide = zigzag_decode(decode_varints(reader.read_bytes(), int(meta["wide_n"])))
+    return QuantizedBlock(
+        codes=np.ascontiguousarray(codes),
+        wide=wide.astype(np.int64),
+        marker=int(meta["marker"]),
+        order=str(meta["order"]),
+    )

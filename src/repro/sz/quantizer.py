@@ -1,0 +1,207 @@
+"""Linear-scale quantization with out-of-scope literals (Section VI-C1).
+
+The SZ framework maps every prediction residual onto an integer grid of bin
+width ``2 * error_bound``; reconstructing ``prediction + code * bin_width``
+then guarantees ``|reconstructed - original| <= error_bound`` everywhere.
+
+The *quantization scale* bounds the range of the emitted integers: codes are
+confined to ``(-scale/2, scale/2)`` and any residual falling outside is
+replaced by a reserved marker symbol while its exact grid level is stored in
+a side array ("out-of-scope" points, stored separately per the paper).  A
+small scale inflates the side array; a large scale inflates the Huffman
+codebook and slows coding — the trade-off the paper sweeps in Figure 9 and
+resolves at the default of 1024.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, DecompressionError
+
+DEFAULT_SCALE = 1024
+
+
+@dataclass
+class QuantizedBlock:
+    """Quantization codes plus the out-of-scope side channel.
+
+    Attributes
+    ----------
+    codes:
+        int64 array, original shape preserved.  In-scope entries hold the
+        small signed quantization code; out-of-scope entries hold the
+        reserved ``marker`` value.
+    wide:
+        int64 array of the absolute grid levels of the out-of-scope points,
+        in the traversal order of ``order`` over ``codes``.
+    marker:
+        The reserved integer marking out-of-scope positions.
+    order:
+        'C' or 'F': the flattening order used to extract ``wide``.  Chain
+        (time-wise) coders use Fortran order so that each atom's trajectory
+        is contiguous.
+    """
+
+    codes: np.ndarray
+    wide: np.ndarray
+    marker: int
+    order: str = "C"
+
+    @property
+    def n_out_of_scope(self) -> int:
+        """Number of points stored through the side channel."""
+        return int(self.wide.size)
+
+
+class LinearQuantizer:
+    """Uniform quantizer with bin width ``2 * error_bound``.
+
+    Parameters
+    ----------
+    error_bound:
+        Absolute error bound; must be positive.
+    scale:
+        Quantization scale (number of representable integers); in-scope
+        codes satisfy ``|code| < scale // 2``.
+    """
+
+    def __init__(self, error_bound: float, scale: int = DEFAULT_SCALE) -> None:
+        if not np.isfinite(error_bound) or error_bound <= 0:
+            raise ConfigurationError(
+                f"error bound must be a positive finite number, got {error_bound}"
+            )
+        if scale < 4:
+            raise ConfigurationError(f"quantization scale too small: {scale}")
+        self.error_bound = float(error_bound)
+        self.scale = int(scale)
+        self.bin_width = 2.0 * self.error_bound
+        self.radius = self.scale // 2
+        #: reserved symbol for out-of-scope points
+        self.marker = self.radius
+
+    def grid_levels(self, values: np.ndarray, anchor: np.ndarray | float) -> np.ndarray:
+        """Absolute grid level of every value relative to ``anchor``.
+
+        ``anchor + level * bin_width`` reproduces each value to within the
+        error bound.  This is the core of the *grid-anchored* formulation:
+        because ``round(x - n) == round(x) - n`` for integer ``n``, chained
+        predictors (Lorenzo, time-wise) can be encoded exactly — including
+        the feedback of reconstructed values — without a sequential loop.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        return np.rint((values - anchor) / self.bin_width).astype(np.int64)
+
+    def dequantize_levels(
+        self, levels: np.ndarray, anchor: np.ndarray | float
+    ) -> np.ndarray:
+        """Reconstruct values from absolute grid levels."""
+        return np.asarray(anchor, dtype=np.float64) + self.bin_width * np.asarray(
+            levels, dtype=np.float64
+        )
+
+    def split(
+        self, codes: np.ndarray, absolute: np.ndarray, order: str = "C"
+    ) -> QuantizedBlock:
+        """Separate in-scope codes from out-of-scope literals.
+
+        Parameters
+        ----------
+        codes:
+            Candidate per-point quantization codes (deltas for chain coders,
+            residual levels for independent predictors).
+        absolute:
+            Absolute grid level per point — what the decoder should use
+            verbatim when the delta does not fit the scale.
+        order:
+            Flattening order for the side channel (see
+            :class:`QuantizedBlock`).
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        absolute = np.asarray(absolute, dtype=np.int64)
+        mask = np.abs(codes) >= self.radius
+        out = np.where(mask, np.int64(self.marker), codes)
+        if order == "F":
+            wide = absolute.T[mask.T]
+        elif order == "C":
+            wide = absolute[mask]
+        else:
+            raise ValueError(f"order must be 'C' or 'F', got {order!r}")
+        return QuantizedBlock(codes=out, wide=wide, marker=self.marker, order=order)
+
+    def merge_independent(self, block: QuantizedBlock) -> np.ndarray:
+        """Restore absolute codes for an *independent* predictor.
+
+        For independent predictions (VQ residuals, reference prediction)
+        the stored wide values are directly the full codes, so merging is a
+        masked scatter.
+        """
+        codes = block.codes.astype(np.int64, copy=True)
+        mask = codes == block.marker
+        n_mask = int(mask.sum())
+        if n_mask != block.wide.size:
+            raise DecompressionError(
+                f"out-of-scope mismatch: {n_mask} markers vs "
+                f"{block.wide.size} literals"
+            )
+        if n_mask:
+            if block.order == "F":
+                codes_t = codes.T
+                codes_t[mask.T] = block.wide
+                codes = codes_t.T
+            else:
+                codes[mask] = block.wide
+        return codes
+
+    def chain_reconstruct(self, block: QuantizedBlock, axis: int = 0) -> np.ndarray:
+        """Rebuild absolute grid levels from chained delta codes.
+
+        ``codes`` hold first differences of the absolute levels along
+        ``axis``; marker positions are *resets* whose absolute level comes
+        from the side channel.  The reconstruction is vectorized: resets are
+        folded in as corrective deltas whose within-chain prefix sums
+        reproduce "latest reset wins" semantics.
+        """
+        codes = block.codes
+        if codes.ndim == 1:
+            levels = self._chain_rows(codes[None, :], block)
+            return levels[0]
+        if axis == 0:
+            # chains run down axis 0; transpose so each chain is a row
+            rows = self._chain_rows_from(codes.T, block)
+            return rows.T
+        if axis == codes.ndim - 1:
+            return self._chain_rows_from(codes, block)
+        raise ValueError("chain_reconstruct supports the first or last axis only")
+
+    # -- internals -----------------------------------------------------
+
+    def _chain_rows_from(self, codes_rows: np.ndarray, block: QuantizedBlock) -> np.ndarray:
+        return self._chain_rows(np.ascontiguousarray(codes_rows), block)
+
+    def _chain_rows(self, codes: np.ndarray, block: QuantizedBlock) -> np.ndarray:
+        """Chains along the last axis of a contiguous 2D array."""
+        mask = codes == block.marker
+        n_mask = int(mask.sum())
+        if n_mask != block.wide.size:
+            raise DecompressionError(
+                f"out-of-scope mismatch: {n_mask} markers vs "
+                f"{block.wide.size} literals"
+            )
+        plain = np.where(mask, 0, codes)
+        s_plain = np.cumsum(plain, axis=-1)
+        if n_mask == 0:
+            return s_plain
+        flat_idx = np.flatnonzero(mask.ravel())
+        chain_len = codes.shape[-1]
+        row_id = flat_idx // chain_len
+        e = block.wide - s_plain.ravel()[flat_idx]
+        deltas = e.copy()
+        same_row = row_id[1:] == row_id[:-1]
+        deltas[1:][same_row] -= e[:-1][same_row]
+        corr = np.zeros(codes.size, dtype=np.int64)
+        corr[flat_idx] = deltas
+        corr = corr.reshape(codes.shape).cumsum(axis=-1)
+        return s_plain + corr

@@ -1,0 +1,146 @@
+"""Tests for the analysis toolkit (metrics, RDF, similarity, RD-sweeps)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bit_rate,
+    calibrate_epsilon_for_cr,
+    compression_ratio,
+    max_error,
+    nrmse,
+    psnr,
+    radial_distribution,
+    similarity_profile,
+    snapshot_similarity,
+    spatial_profile,
+)
+from repro.analysis.rdf import rdf_deviation
+from repro.analysis.ratedistortion import rate_distortion_sweep
+from repro.md.lattice import fcc_lattice
+
+
+class TestMetrics:
+    def test_compression_ratio(self):
+        assert compression_ratio(1000, 100) == 10.0
+        with pytest.raises(ValueError):
+            compression_ratio(10, 0)
+
+    def test_bit_rate(self):
+        assert bit_rate(125, 1000) == 1.0
+        with pytest.raises(ValueError):
+            bit_rate(10, 0)
+
+    def test_max_error(self, rng):
+        a = rng.normal(0, 1, 100)
+        b = a.copy()
+        b[17] += 0.125
+        assert max_error(a, b) == pytest.approx(0.125)
+
+    def test_nrmse_known_value(self):
+        a = np.array([0.0, 10.0])
+        b = np.array([1.0, 9.0])
+        assert nrmse(a, b) == pytest.approx(0.1)
+
+    def test_psnr_known_value(self):
+        a = np.array([0.0, 10.0])
+        b = np.array([0.1, 10.0])
+        # MSE = 0.005, range 10 -> PSNR = 20 - 10*log10(0.005)
+        assert psnr(a, b) == pytest.approx(20 - 10 * np.log10(0.005))
+
+    def test_psnr_perfect_is_infinite(self):
+        a = np.arange(5.0)
+        assert psnr(a, a) == np.inf
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            max_error(np.zeros(3), np.zeros(4))
+
+    def test_psnr_improves_with_smaller_error(self, rng):
+        a = rng.normal(0, 1, 1000)
+        assert psnr(a, a + 0.001) > psnr(a, a + 0.01)
+
+
+class TestSimilarity:
+    def test_identical_snapshots(self, rng):
+        snap = rng.normal(5, 1, 200)
+        assert snapshot_similarity(snap, snap, tau=1e-6) == 1.0
+
+    def test_fully_changed(self, rng):
+        snap = rng.normal(5, 0.1, 200)
+        assert snapshot_similarity(snap * 2, snap, tau=1e-3) == 0.0
+
+    def test_profile_starts_at_one(self, smooth_stream):
+        norm, sims = similarity_profile(smooth_stream, tau=0.01)
+        assert sims[0] == 1.0
+        assert norm[0] == 0.0 and norm[-1] == pytest.approx(100.0)
+
+    def test_smooth_stream_stays_similar(self, smooth_stream):
+        _, sims = similarity_profile(smooth_stream, tau=0.05)
+        assert sims.min() > 0.9
+
+
+class TestRDF:
+    def test_fcc_first_peak(self):
+        lat = fcc_lattice((5, 5, 5), 3.615)
+        r, g = radial_distribution(lat.positions, lat.box)
+        first_peak_r = r[np.argmax(g)]
+        assert first_peak_r == pytest.approx(3.615 / np.sqrt(2), abs=0.15)
+
+    def test_ideal_gas_is_flat(self, rng):
+        box = np.array([20.0, 20.0, 20.0])
+        pos = rng.uniform(0, box, (3000, 3))
+        r, g = radial_distribution(pos, box)
+        # away from r=0 the RDF of uncorrelated points is ~1
+        far = g[r > 2.0]
+        assert far.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_deviation_metric(self):
+        g1 = np.ones(10)
+        g2 = np.ones(10) * 2
+        assert rdf_deviation(g1, g2) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            rdf_deviation(np.ones(5), np.ones(6))
+
+    def test_needs_two_atoms(self):
+        with pytest.raises(ValueError):
+            radial_distribution(np.zeros((1, 3)), np.ones(3))
+
+
+class TestSpatialProfile:
+    def test_levels_recognized(self, rng):
+        snapshot = (rng.integers(0, 10, 500) * 2.0).astype(np.float64)
+        profile = spatial_profile(snapshot)
+        assert profile.level_fraction > 0.95
+
+    def test_smooth_data_low_relative_delta(self, rng):
+        snapshot = np.linspace(0, 1, 1000) + rng.normal(0, 1e-5, 1000)
+        profile = spatial_profile(snapshot)
+        assert profile.rel_neighbor_delta < 0.01
+
+
+class TestRateDistortion:
+    def test_sweep_monotone(self, crystal_stream):
+        curve = rate_distortion_sweep(
+            "mdz-vq",
+            crystal_stream,
+            buffer_size=10,
+            epsilons=(1e-2, 1e-3, 1e-4),
+        )
+        rates = [p.bit_rate for p in curve.points]
+        psnrs = [p.psnr for p in curve.points]
+        assert rates[0] < rates[-1]  # looser bound -> fewer bits
+        assert psnrs[0] < psnrs[-1]  # looser bound -> lower fidelity
+
+    def test_calibration_hits_target(self, crystal_stream):
+        eps, achieved = calibrate_epsilon_for_cr(
+            "sz2", crystal_stream, target_cr=6.0, buffer_size=10
+        )
+        assert achieved == pytest.approx(6.0, rel=0.06)
+
+    def test_unreachable_target_raises(self, random_stream):
+        # MDB saturates far below CR 50 (the paper's Table VI exclusion).
+        with pytest.raises(ValueError, match="cannot reach"):
+            calibrate_epsilon_for_cr(
+                "mdb", random_stream, target_cr=50.0, buffer_size=10
+            )

@@ -1,0 +1,175 @@
+"""Cross-cutting tests for every registered compressor."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    SessionMeta,
+    available_compressors,
+    create_compressor,
+)
+from repro.exceptions import UnsupportedDatasetError
+
+LOSSY = [
+    "mdz",
+    "mdz-vq",
+    "mdz-vqt",
+    "mdz-mt",
+    "sz2-1d",
+    "sz2-2d",
+    "tng",
+    "hrtc",
+    "asn",
+    "mdb",
+    "lfzip",
+    "zfp",
+]
+LOSSLESS = ["zstd", "zlib", "brotli", "fpc", "fpzip", "zfp-lossless"]
+
+
+def round_trip(name, stream, eb):
+    enc = create_compressor(name)
+    dec = create_compressor(name)
+    meta = SessionMeta(n_atoms=stream.shape[1])
+    bound = None if enc.is_lossless else eb
+    enc.begin(bound, meta)
+    dec.begin(bound, meta)
+    out = np.empty(stream.shape, dtype=np.float64)
+    row = 0
+    for t0 in range(0, stream.shape[0], 7):
+        blob = enc.compress_batch(stream[t0 : t0 + 7])
+        piece = np.asarray(dec.decompress_batch(blob), dtype=np.float64)
+        out[row : row + piece.shape[0]] = piece
+        row += piece.shape[0]
+    return out
+
+
+class TestRegistry:
+    def test_all_expected_compressors_registered(self):
+        names = available_compressors()
+        for required in LOSSY + LOSSLESS:
+            assert required in names
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown compressor"):
+            create_compressor("nope")
+
+    def test_lossless_flags(self):
+        for name in LOSSLESS:
+            assert create_compressor(name).is_lossless
+        for name in LOSSY:
+            assert not create_compressor(name).is_lossless
+
+
+class TestLossyBound:
+    @pytest.mark.parametrize("name", LOSSY)
+    def test_error_bound_crystal(self, name, crystal_stream):
+        eb = 1e-3 * (crystal_stream.max() - crystal_stream.min())
+        out = round_trip(name, crystal_stream, eb)
+        assert np.max(np.abs(out - crystal_stream)) <= eb * (1 + 1e-9) + 1e-12
+
+    @pytest.mark.parametrize("name", LOSSY)
+    def test_error_bound_smooth(self, name, smooth_stream):
+        eb = 1e-3 * (smooth_stream.max() - smooth_stream.min())
+        out = round_trip(name, smooth_stream, eb)
+        assert np.max(np.abs(out - smooth_stream)) <= eb * (1 + 1e-9) + 1e-12
+
+    @pytest.mark.parametrize("name", LOSSY)
+    def test_error_bound_random(self, name, random_stream):
+        eb = 5e-3 * (random_stream.max() - random_stream.min())
+        out = round_trip(name, random_stream, eb)
+        assert np.max(np.abs(out - random_stream)) <= eb * (1 + 1e-9) + 1e-12
+
+    @pytest.mark.parametrize("name", LOSSY)
+    def test_missing_bound_rejected(self, name):
+        from repro.exceptions import CompressionError
+
+        with pytest.raises(CompressionError):
+            create_compressor(name).begin(None, SessionMeta(n_atoms=10))
+
+
+class TestLosslessExactness:
+    @pytest.mark.parametrize("name", LOSSLESS)
+    def test_bit_exact_float32(self, name, crystal_stream):
+        stream = crystal_stream.astype(np.float32)
+        enc = create_compressor(name)
+        dec = create_compressor(name)
+        enc.begin(None, SessionMeta(n_atoms=stream.shape[1]))
+        dec.begin(None, SessionMeta(n_atoms=stream.shape[1]))
+        blob = enc.compress_batch(stream)
+        out = dec.decompress_batch(blob)
+        assert out.dtype == np.float32
+        assert np.array_equal(out, stream)
+
+    @pytest.mark.parametrize("name", ["fpc", "fpzip", "zfp-lossless"])
+    def test_bit_exact_float64(self, name, random_stream):
+        enc = create_compressor(name)
+        dec = create_compressor(name)
+        enc.begin(None, SessionMeta(n_atoms=random_stream.shape[1]))
+        dec.begin(None, SessionMeta(n_atoms=random_stream.shape[1]))
+        out = dec.decompress_batch(enc.compress_batch(random_stream))
+        assert np.array_equal(out, random_stream)
+
+    @pytest.mark.parametrize("name", ["fpc", "fpzip"])
+    def test_special_values_preserved(self, name):
+        stream = np.array(
+            [[0.0, -0.0, 1e-300, -1e300, 3.14, 2.0**-1040]], dtype=np.float64
+        )
+        enc = create_compressor(name)
+        dec = create_compressor(name)
+        enc.begin(None, SessionMeta(n_atoms=stream.shape[1]))
+        dec.begin(None, SessionMeta(n_atoms=stream.shape[1]))
+        out = dec.decompress_batch(enc.compress_batch(stream))
+        assert np.array_equal(
+            out.view(np.uint64), stream.view(np.uint64)
+        )
+
+
+class TestCapabilityLimits:
+    def test_tng_atom_limit(self):
+        compressor = create_compressor("tng")
+        with pytest.raises(UnsupportedDatasetError, match="Pt and LJ"):
+            compressor.begin(
+                0.01, SessionMeta(n_atoms=100, original_atoms=2_371_092)
+            )
+
+    def test_tng_accepts_copper_a_scale(self):
+        create_compressor("tng").begin(
+            0.01, SessionMeta(n_atoms=100, original_atoms=1_077_290)
+        )
+
+    def test_hrtc_atom_limit(self):
+        compressor = create_compressor("hrtc")
+        with pytest.raises(UnsupportedDatasetError):
+            compressor.begin(
+                0.01, SessionMeta(n_atoms=100, original_atoms=106_711)
+            )
+
+    def test_hrtc_accepts_small_sets(self):
+        create_compressor("hrtc").begin(
+            0.01, SessionMeta(n_atoms=100, original_atoms=12_445)
+        )
+
+
+class TestStatefulSessions:
+    def test_asn_batches_chain(self, smooth_stream):
+        """ASN carries the last two reconstructions across batches."""
+        eb = 1e-3 * (smooth_stream.max() - smooth_stream.min())
+        out = round_trip("asn", smooth_stream, eb)
+        assert np.max(np.abs(out - smooth_stream)) <= eb * (1 + 1e-9)
+
+    def test_mdz_mt_reference_spans_batches(self, smooth_stream):
+        eb = 1e-3 * (smooth_stream.max() - smooth_stream.min())
+        out = round_trip("mdz-mt", smooth_stream, eb)
+        assert np.max(np.abs(out - smooth_stream)) <= eb * (1 + 1e-9)
+
+    def test_begin_resets_state(self, smooth_stream):
+        """A second begin() must make the session forget the first run."""
+        eb = 1e-3 * (smooth_stream.max() - smooth_stream.min())
+        enc = create_compressor("asn")
+        meta = SessionMeta(n_atoms=smooth_stream.shape[1])
+        enc.begin(eb, meta)
+        first = enc.compress_batch(smooth_stream[:7])
+        enc.begin(eb, meta)
+        again = enc.compress_batch(smooth_stream[:7])
+        assert first == again

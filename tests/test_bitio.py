@@ -1,0 +1,158 @@
+"""Tests for bit streams, varints, zigzag, and vectorized code packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DecompressionError
+from repro.sz.bitio import (
+    BitReader,
+    BitWriter,
+    clz64,
+    decode_varints,
+    encode_varints,
+    pack_codes,
+    unpack_bits,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+class TestBitStream:
+    def test_simple_fields(self):
+        w = BitWriter()
+        w.write(0b101, 3)
+        w.write(0xFFFF, 16)
+        w.write(0, 5)
+        r = BitReader(w.getvalue())
+        assert r.read(3) == 0b101
+        assert r.read(16) == 0xFFFF
+        assert r.read(5) == 0
+
+    def test_single_bits(self):
+        w = BitWriter()
+        bits = [1, 0, 1, 1, 0, 0, 1, 0, 1]
+        for b in bits:
+            w.write_bit(b)
+        r = BitReader(w.getvalue())
+        assert [r.read_bit() for _ in bits] == bits
+
+    def test_wide_field(self):
+        w = BitWriter()
+        w.write(2**63 + 12345, 64)
+        assert BitReader(w.getvalue()).read(64) == 2**63 + 12345
+
+    def test_bit_length_property(self):
+        w = BitWriter()
+        w.write(3, 2)
+        w.write(1, 9)
+        assert w.bit_length == 11
+
+    def test_exhaustion_raises(self):
+        w = BitWriter()
+        w.write(1, 4)
+        r = BitReader(w.getvalue())
+        r.read(8)  # padding byte allows this
+        with pytest.raises(DecompressionError):
+            r.read(8)
+
+    def test_negative_nbits_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(1, -1)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2**32 - 1), st.integers(1, 33)),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_round_trip(self, fields):
+        w = BitWriter()
+        expected = []
+        for value, nbits in fields:
+            w.write(value, nbits)
+            expected.append(value & ((1 << nbits) - 1))
+        r = BitReader(w.getvalue())
+        got = [r.read(nbits) for _, nbits in fields]
+        assert got == expected
+
+
+class TestZigzag:
+    def test_small_values(self):
+        v = np.array([0, -1, 1, -2, 2], dtype=np.int64)
+        assert np.array_equal(zigzag_encode(v), [0, 1, 2, 3, 4])
+
+    def test_round_trip_extremes(self):
+        v = np.array([0, 2**62, -(2**62), 17, -17], dtype=np.int64)
+        assert np.array_equal(zigzag_decode(zigzag_encode(v)), v)
+
+    @given(st.lists(st.integers(-(2**62), 2**62), max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_property_round_trip(self, values):
+        v = np.array(values, dtype=np.int64)
+        assert np.array_equal(zigzag_decode(zigzag_encode(v)), v)
+
+
+class TestVarints:
+    def test_known_encoding(self):
+        # 300 = 0b1_0101100 -> 0xAC 0x02
+        assert encode_varints(np.array([300], dtype=np.uint64)) == b"\xac\x02"
+
+    def test_empty(self):
+        assert encode_varints(np.empty(0, dtype=np.uint64)) == b""
+        assert decode_varints(b"", 0).size == 0
+
+    def test_round_trip_mixed_sizes(self):
+        v = np.array([0, 1, 127, 128, 2**32, 2**63 - 1], dtype=np.uint64)
+        assert np.array_equal(decode_varints(encode_varints(v), v.size), v)
+
+    def test_truncation_detected(self):
+        blob = encode_varints(np.array([2**40], dtype=np.uint64))
+        with pytest.raises(DecompressionError):
+            decode_varints(blob[:-1], 1)
+
+    @given(st.lists(st.integers(0, 2**64 - 1), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_property_round_trip(self, values):
+        v = np.array(values, dtype=np.uint64)
+        assert np.array_equal(decode_varints(encode_varints(v), v.size), v)
+
+
+class TestClz64:
+    def test_known_values(self):
+        x = np.array([0, 1, 2, 255, 2**63], dtype=np.uint64)
+        assert np.array_equal(clz64(x), [64, 63, 62, 56, 0])
+
+    @given(st.integers(0, 2**64 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_bit_length(self, value):
+        expected = 64 - value.bit_length()
+        assert clz64(np.array([value], dtype=np.uint64))[0] == expected
+
+
+class TestPackCodes:
+    def test_empty(self):
+        assert pack_codes(np.empty(0, np.uint64), np.empty(0, np.int64)) == b""
+
+    def test_against_bitwriter(self):
+        rng = np.random.default_rng(3)
+        lengths = rng.integers(1, 24, 200)
+        codes = np.array(
+            [rng.integers(0, 2**int(n)) for n in lengths], dtype=np.uint64
+        )
+        packed = pack_codes(codes, lengths)
+        w = BitWriter()
+        for c, n in zip(codes, lengths):
+            w.write(int(c), int(n))
+        assert packed == w.getvalue()
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            pack_codes(np.array([1], np.uint64), np.array([60]))
+
+    def test_unpack_bits(self):
+        assert np.array_equal(
+            unpack_bits(b"\xa0"), [1, 0, 1, 0, 0, 0, 0, 0]
+        )

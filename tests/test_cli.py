@@ -1,0 +1,118 @@
+"""Tests for the ``mdz`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io.dump import DumpFrame, write_dump
+
+
+@pytest.fixture
+def npy_trajectory(tmp_path, rng):
+    path = tmp_path / "traj.npy"
+    data = (
+        rng.integers(0, 6, (60, 3)) * 2.0
+        + rng.normal(0, 0.03, (15, 60, 3))
+    ).astype(np.float32)
+    np.save(path, data)
+    return path, data
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compress_defaults(self):
+        args = build_parser().parse_args(["compress", "a.npy", "b.mdz"])
+        assert args.error_bound == 1e-3
+        assert args.buffer_size == 10
+        assert args.method == "adp"
+
+
+class TestCompressDecompress:
+    def test_round_trip(self, tmp_path, npy_trajectory, capsys):
+        path, data = npy_trajectory
+        container = tmp_path / "traj.mdz"
+        restored = tmp_path / "restored.npy"
+        assert main(["compress", str(path), str(container)]) == 0
+        assert container.stat().st_size < data.nbytes
+        assert main(["decompress", str(container), str(restored)]) == 0
+        out = np.load(restored)
+        for a in range(3):
+            axis = data[:, :, a].astype(np.float64)
+            bound = 1e-3 * (axis.max() - axis.min())
+            assert np.abs(out[:, :, a] - axis).max() <= bound * (1 + 1e-9)
+        stdout = capsys.readouterr().out
+        assert "CR" in stdout
+
+    def test_fixed_method_and_absolute_bound(self, tmp_path, npy_trajectory):
+        path, data = npy_trajectory
+        container = tmp_path / "t.mdz"
+        code = main(
+            [
+                "compress",
+                str(path),
+                str(container),
+                "--method",
+                "vq",
+                "--bound-mode",
+                "absolute",
+                "--error-bound",
+                "0.01",
+            ]
+        )
+        assert code == 0
+        restored = tmp_path / "r.npy"
+        assert main(["decompress", str(container), str(restored)]) == 0
+        out = np.load(restored)
+        assert np.abs(out - data.astype(np.float64)).max() <= 0.01 * (1 + 1e-9)
+
+    def test_dump_input(self, tmp_path, rng):
+        frames = [
+            DumpFrame(
+                timestep=i,
+                box=np.column_stack([np.zeros(3), np.full(3, 10.0)]),
+                positions=rng.uniform(0, 10, (40, 3)),
+            )
+            for i in range(6)
+        ]
+        dump_path = tmp_path / "run.dump"
+        write_dump(dump_path, frames)
+        container = tmp_path / "run.mdz"
+        assert main(["compress", str(dump_path), str(container)]) == 0
+
+    def test_unknown_format_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "traj.xyz"
+        bad.write_text("not a trajectory")
+        assert main(["compress", str(bad), str(tmp_path / "o.mdz")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["compress", str(tmp_path / "nope.npy"), str(tmp_path / "o.mdz")]
+        )
+        assert code == 1
+
+
+class TestInfoAndBench:
+    def test_info_reports_structure(self, tmp_path, npy_trajectory, capsys):
+        path, data = npy_trajectory
+        container = tmp_path / "t.mdz"
+        main(["compress", str(path), str(container), "--buffer-size", "5"])
+        capsys.readouterr()
+        assert main(["info", str(container)]) == 0
+        out = capsys.readouterr().out
+        assert "snapshots=15" in out
+        assert "buffers=3" in out
+        assert "axis 0:" in out
+
+    def test_bench_lists_compressors(self, tmp_path, npy_trajectory, capsys):
+        path, _ = npy_trajectory
+        code = main(
+            ["bench", str(path), "--compressors", "mdz,tng,zstd"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("mdz", "tng", "zstd"):
+            assert name in out

@@ -1,0 +1,121 @@
+"""Tests for the .mdz container format and the MDZ front end."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MDZConfig
+from repro.core.mdz import MDZ
+from repro.exceptions import CompressionError, ContainerFormatError
+from repro.io.container import (
+    read_container,
+    read_container_batch,
+    write_container,
+)
+
+
+class TestContainerRoundTrip:
+    def test_full_round_trip(self, trajectory):
+        config = MDZConfig(buffer_size=4)
+        blob = write_container(trajectory, config)
+        out = read_container(blob)
+        assert out.shape == trajectory.shape
+        for a in range(3):
+            axis = trajectory[:, :, a]
+            bound = 1e-3 * (axis.max() - axis.min())
+            assert np.max(np.abs(out[:, :, a] - axis)) <= bound * (1 + 1e-9)
+
+    def test_partial_final_batch(self, trajectory):
+        config = MDZConfig(buffer_size=5)  # 12 snapshots -> 5+5+2
+        out = read_container(write_container(trajectory, config))
+        assert out.shape == trajectory.shape
+
+    @pytest.mark.parametrize("method", ["vq", "vqt", "mt", "adp"])
+    def test_all_methods(self, trajectory, method):
+        config = MDZConfig(buffer_size=4, method=method)
+        out = read_container(write_container(trajectory, config))
+        assert out.shape == trajectory.shape
+
+    def test_float32_input(self, trajectory):
+        blob = write_container(trajectory.astype(np.float32), MDZConfig())
+        out = read_container(blob)
+        assert out.shape == trajectory.shape
+
+    def test_compresses(self, trajectory):
+        blob = write_container(trajectory, MDZConfig(buffer_size=6))
+        assert len(blob) < trajectory.astype(np.float32).nbytes
+
+
+class TestRandomAccess:
+    def test_batch_access_matches_full_decode(self, trajectory):
+        config = MDZConfig(buffer_size=4)
+        blob = write_container(trajectory, config)
+        full = read_container(blob)
+        for batch_index, t0 in enumerate(range(0, 12, 4)):
+            piece = read_container_batch(blob, batch_index)
+            assert np.array_equal(piece, full[t0 : t0 + 4])
+
+    def test_vq_batches_without_head_decode(self, trajectory):
+        config = MDZConfig(buffer_size=4, method="vq")
+        blob = write_container(trajectory, config)
+        piece = read_container_batch(blob, 2)
+        full = read_container(blob)
+        assert np.array_equal(piece, full[8:12])
+
+    def test_out_of_range_batch_rejected(self, trajectory):
+        blob = write_container(trajectory, MDZConfig(buffer_size=4))
+        with pytest.raises(ContainerFormatError):
+            read_container_batch(blob, 99)
+
+
+class TestContainerErrors:
+    def test_bad_magic_rejected(self, trajectory):
+        blob = bytearray(write_container(trajectory, MDZConfig()))
+        blob[9] ^= 0xFF  # first magic byte (after the frame header)
+        with pytest.raises(ContainerFormatError, match="magic"):
+            read_container(bytes(blob))
+
+    def test_empty_trajectory_rejected(self):
+        with pytest.raises(CompressionError):
+            write_container(np.empty((0, 5, 3)), MDZConfig())
+
+    def test_wrong_rank_rejected(self):
+        with pytest.raises(CompressionError):
+            write_container(np.zeros((4, 5)), MDZConfig())
+
+
+class TestMDZFrontEnd:
+    def test_compress_decompress(self, trajectory):
+        mdz = MDZ(MDZConfig(buffer_size=6))
+        out = mdz.decompress(mdz.compress(trajectory))
+        for a in range(3):
+            axis = trajectory[:, :, a]
+            bound = 1e-3 * (axis.max() - axis.min())
+            assert np.max(np.abs(out[:, :, a] - axis)) <= bound * (1 + 1e-9)
+
+    def test_2d_input_promoted(self, crystal_stream):
+        mdz = MDZ(MDZConfig(buffer_size=10))
+        out = mdz.decompress(mdz.compress(crystal_stream))
+        assert out.shape == (*crystal_stream.shape, 1)
+
+    def test_decompress_batch_api(self, trajectory):
+        mdz = MDZ(MDZConfig(buffer_size=4))
+        blob = mdz.compress(trajectory)
+        piece = mdz.decompress_batch(blob, 1)
+        assert np.array_equal(piece, mdz.decompress(blob)[4:8])
+
+    def test_default_config(self):
+        assert MDZ().config.method == "adp"
+
+
+class TestIntegrity:
+    def test_payload_crc_detects_bit_flips(self, trajectory):
+        blob = bytearray(write_container(trajectory, MDZConfig(buffer_size=4)))
+        blob[-10] ^= 0x01  # flip one bit deep inside the payload
+        with pytest.raises(ContainerFormatError, match="checksum"):
+            read_container(bytes(blob))
+
+    def test_crc_verified_on_batch_access(self, trajectory):
+        blob = bytearray(write_container(trajectory, MDZConfig(buffer_size=4)))
+        blob[-10] ^= 0x01
+        with pytest.raises(ContainerFormatError, match="checksum"):
+            read_container_batch(bytes(blob), 0)

@@ -1,0 +1,103 @@
+"""Tests for the dataset registry and the Table I analogs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.characterization import (
+    histogram_peaks,
+    temporal_smoothness,
+)
+from repro.datasets import DATASET_SPECS, dataset_names, load_dataset
+from repro.datasets.spec import HACC_DATASETS, MD_DATASETS
+
+
+class TestSpecs:
+    def test_all_table_one_datasets_present(self):
+        for name in MD_DATASETS:
+            assert name in DATASET_SPECS
+
+    def test_hacc_datasets_present(self):
+        for name in HACC_DATASETS:
+            assert name in DATASET_SPECS
+
+    def test_paper_sizes_recorded(self):
+        spec = DATASET_SPECS["copper-b"]
+        assert spec.paper_atoms == 3137
+        assert spec.paper_snapshots == 5423
+        assert DATASET_SPECS["lj"].paper_atoms == 6_912_000
+
+    def test_small_datasets_keep_paper_atom_count(self):
+        for name in ("copper-b", "helium-b", "adk", "ifabp"):
+            spec = DATASET_SPECS[name]
+            assert spec.atoms == spec.paper_atoms
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("water")
+
+
+class TestLoading:
+    @pytest.mark.parametrize("name", ["copper-b", "helium-b", "adk"])
+    def test_shapes_match_spec(self, name):
+        ds = load_dataset(name)
+        spec = DATASET_SPECS[name]
+        assert ds.positions.shape == (spec.snapshots, spec.atoms, 3)
+        assert ds.positions.dtype == np.float32
+
+    def test_truncation(self):
+        ds = load_dataset("copper-b", snapshots=25)
+        assert ds.snapshots == 25
+
+    def test_deterministic_across_loads(self):
+        a = load_dataset("helium-b").positions
+        b = load_dataset("helium-b").positions
+        assert np.array_equal(a, b)
+
+    def test_axis_accessor(self):
+        ds = load_dataset("copper-b", snapshots=10)
+        assert np.array_equal(ds.axis("x"), ds.positions[:, :, 0])
+        assert np.array_equal(ds.axis(2), ds.positions[:, :, 2])
+        assert ds.value_range("x") > 0
+
+    def test_names_listing(self):
+        names = dataset_names()
+        assert names.index("copper-a") < names.index("hacc-1")
+        assert "hacc-1" not in dataset_names(include_hacc=False)
+
+
+class TestCharacterization:
+    """The generated data must exhibit the Section V features."""
+
+    def test_crystals_are_multi_peak(self):
+        for name in ("copper-b", "helium-b"):
+            ds = load_dataset(name, snapshots=2)
+            peaks = histogram_peaks(ds.axis("x")[0])
+            assert peaks >= 5, f"{name} lost its level structure"
+
+    def test_proteins_are_not_multi_peak(self):
+        ds = load_dataset("adk", snapshots=2)
+        assert histogram_peaks(ds.axis("x")[0]) <= 4
+
+    def test_temporal_classes_match_spec(self):
+        for name in MD_DATASETS:
+            ds = load_dataset(name)
+            smoothness = temporal_smoothness(ds.axis("x").astype(np.float64))
+            expected = DATASET_SPECS[name].temporal_class == "smooth"
+            assert smoothness.smooth == expected, (
+                f"{name}: rel_step={smoothness.rel_step:.2e}, "
+                f"expected smooth={expected}"
+            )
+
+    def test_pt_is_stairwise_in_z(self):
+        ds = load_dataset("pt", snapshots=2)
+        z = np.sort(ds.axis("z")[0].astype(np.float64))
+        # Many atoms share each surface layer: strong plateaus in sorted z.
+        assert histogram_peaks(z, prominence=0.05) >= 8
+
+    def test_copper_b_regime_change_in_z(self):
+        """After snapshot 400 the z axis drifts (Figure 10's switch)."""
+        ds = load_dataset("copper-b")
+        z = ds.axis("z").astype(np.float64)
+        early = np.abs(z[300] - z[0]).mean()
+        late = np.abs(z[-1] - z[0]).mean()
+        assert late > 5 * early

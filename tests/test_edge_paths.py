@@ -1,0 +1,170 @@
+"""Edge-path tests: error branches and rarely-hit code in every layer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.api import Compressor, SessionMeta, register_compressor
+from repro.baselines.hrtc import _segment_trajectory
+from repro.core.config import MDZConfig
+from repro.core.mdz import MDZAxisCompressor
+from repro.exceptions import CompressionError, DecompressionError
+from repro.io.container import read_container_info, write_container
+from repro.sz.huffman import HuffmanCodec
+from repro.sz.pipeline import decode_int_stream, encode_int_stream
+from repro.sz.quantizer import LinearQuantizer
+
+
+class TestSessionMeta:
+    def test_effective_original_atoms_fallback(self):
+        assert SessionMeta(n_atoms=42).effective_original_atoms == 42
+        assert (
+            SessionMeta(n_atoms=42, original_atoms=7_000_000)
+            .effective_original_atoms
+            == 7_000_000
+        )
+
+    def test_as_batch_promotes_1d(self):
+        out = Compressor.as_batch(np.arange(5.0))
+        assert out.shape == (1, 5)
+
+    def test_as_batch_rejects_3d(self):
+        with pytest.raises(CompressionError):
+            Compressor.as_batch(np.zeros((2, 3, 4)))
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_compressor("mdz", lambda: None)
+
+
+class TestPipelineLayouts:
+    def test_bad_layout_rejected(self):
+        q = LinearQuantizer(0.1)
+        block = q.split(np.zeros((2, 3), np.int64), np.zeros((2, 3), np.int64))
+        with pytest.raises(ValueError, match="layout"):
+            encode_int_stream(block, layout="Z")
+
+    def test_corrupt_layout_tag_detected(self):
+        q = LinearQuantizer(0.1)
+        block = q.split(np.zeros((2, 3), np.int64), np.zeros((2, 3), np.int64))
+        blob = encode_int_stream(block, "C")
+        corrupted = blob.replace(b'"layout":"C"', b'"layout":"Q"')
+        assert corrupted != blob
+        with pytest.raises(DecompressionError, match="layout"):
+            decode_int_stream(corrupted)
+
+    def test_f_layout_round_trip_preserves_shape(self, rng):
+        q = LinearQuantizer(0.1, scale=64)
+        codes = rng.integers(-10, 10, (4, 7))
+        block = q.split(codes, codes, order="F")
+        back = decode_int_stream(encode_int_stream(block, "F"))
+        assert np.array_equal(back.codes, block.codes)
+        assert back.order == "F"
+
+
+class TestHuffmanDensePath:
+    def test_dense_codebook_round_trip(self, rng):
+        values = rng.integers(-100, 100, 5000)
+        blob_dense = HuffmanCodec.encode(values, alphabet_hint=1025)
+        blob_sparse = HuffmanCodec.encode(values)
+        assert np.array_equal(HuffmanCodec.decode(blob_dense), values)
+        assert np.array_equal(HuffmanCodec.decode(blob_sparse), values)
+
+    def test_hint_too_small_falls_back_to_sparse(self, rng):
+        values = rng.integers(0, 10_000, 500)
+        blob = HuffmanCodec.encode(values, alphabet_hint=16)
+        assert np.array_equal(HuffmanCodec.decode(blob), values)
+
+    def test_dense_single_symbol(self):
+        values = np.full(100, 7, dtype=np.int64)
+        blob = HuffmanCodec.encode(values, alphabet_hint=1025)
+        assert np.array_equal(HuffmanCodec.decode(blob), values)
+
+
+class TestHRTCSegmentation:
+    def test_perfect_line_single_segment(self):
+        values = np.linspace(0.0, 10.0, 50)
+        lengths, ends = _segment_trajectory(
+            values, anchor_q=0, grid=0.01, tol=0.05
+        )
+        assert lengths == [49]
+
+    def test_constant_trajectory(self):
+        values = np.full(30, 5.0)
+        lengths, ends = _segment_trajectory(
+            values, anchor_q=500, grid=0.01, tol=0.05
+        )
+        assert sum(lengths) == 29
+
+    def test_jump_creates_short_segment(self):
+        values = np.zeros(20)
+        values[10:] = 100.0
+        lengths, _ = _segment_trajectory(values, 0, grid=0.01, tol=0.05)
+        assert sum(lengths) == 19
+        assert len(lengths) >= 2
+
+    def test_two_point_trajectory(self):
+        lengths, ends = _segment_trajectory(
+            np.array([1.0, 2.0]), anchor_q=100, grid=0.01, tol=0.05
+        )
+        assert sum(lengths) == 1
+
+
+class TestMDZAxisEdges:
+    def test_single_atom_stream(self):
+        stream = np.cumsum(np.random.default_rng(0).normal(0, 0.1, (20, 1)), 0)
+        enc = MDZAxisCompressor(MDZConfig(method="adp"))
+        dec = MDZAxisCompressor(MDZConfig(method="adp"))
+        enc.begin(0.01, SessionMeta(n_atoms=1))
+        dec.begin(0.01, SessionMeta(n_atoms=1))
+        out = dec.decompress_batch(enc.compress_batch(stream))
+        assert np.abs(out - stream).max() <= 0.01 * (1 + 1e-9)
+
+    def test_constant_stream(self):
+        stream = np.full((8, 40), 3.25)
+        enc = MDZAxisCompressor(MDZConfig(method="vq"))
+        dec = MDZAxisCompressor(MDZConfig(method="vq"))
+        enc.begin(0.5, SessionMeta(n_atoms=40))
+        dec.begin(0.5, SessionMeta(n_atoms=40))
+        blob = enc.compress_batch(stream)
+        out = dec.decompress_batch(blob)
+        assert np.abs(out - stream).max() <= 0.5
+        # Constant data compresses to almost nothing.
+        assert len(blob) < 600
+
+    def test_unknown_method_id_rejected(self, crystal_stream):
+        enc = MDZAxisCompressor(MDZConfig(method="vq"))
+        enc.begin(0.01, SessionMeta(n_atoms=crystal_stream.shape[1]))
+        blob = enc.compress_batch(crystal_stream)
+        from repro.sz.lossless import lossless_compress, lossless_decompress
+
+        payload = lossless_decompress(blob)
+        corrupted = lossless_compress(payload.replace(b'{"m":1}', b'{"m":9}'))
+        dec = MDZAxisCompressor(MDZConfig(method="vq"))
+        dec.begin(0.01, SessionMeta(n_atoms=crystal_stream.shape[1]))
+        with pytest.raises(DecompressionError, match="method id"):
+            dec.decompress_batch(corrupted)
+
+
+class TestContainerInfoDetails:
+    def test_info_counts_adp_choices(self, rng):
+        levels = rng.integers(0, 8, 120) * 2.0
+        positions = (
+            levels[None, :, None]
+            + rng.normal(0, 0.02, (16, 120, 3))
+        )
+        blob = write_container(
+            positions, MDZConfig(method="adp", buffer_size=4)
+        )
+        info = read_container_info(blob)
+        assert info.n_buffers == 4
+        for axis_methods in info.methods_per_axis:
+            assert sum(axis_methods.values()) == 4
+            assert set(axis_methods) <= {"vq", "vqt", "mt"}
+
+    def test_info_fixed_method_uniform(self, rng):
+        positions = rng.normal(0, 1, (8, 50, 2))
+        blob = write_container(positions, MDZConfig(method="mt", buffer_size=4))
+        info = read_container_info(blob)
+        assert info.axes == 2
+        for axis_methods in info.methods_per_axis:
+            assert axis_methods == {"mt": 2}

@@ -1,0 +1,101 @@
+"""Tests for the canonical Huffman codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sz.huffman import (
+    MAX_CODE_LENGTH,
+    HuffmanCodec,
+    canonical_codes,
+    code_lengths,
+)
+
+
+class TestCodeLengths:
+    def test_uniform_counts_balanced(self):
+        lengths = code_lengths(np.full(8, 10))
+        assert (lengths == 3).all()
+
+    def test_skewed_counts_short_code_for_frequent(self):
+        lengths = code_lengths(np.array([1000, 10, 10, 10]))
+        assert lengths[0] == lengths.min()
+
+    def test_single_symbol(self):
+        assert code_lengths(np.array([42]))[0] == 1
+
+    def test_length_limit_enforced(self):
+        # Fibonacci-like counts force a degenerate deep tree.
+        counts = np.array([1] + [int(1.6**k) + 1 for k in range(40)])
+        lengths = code_lengths(counts)
+        assert lengths.max() <= MAX_CODE_LENGTH
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            code_lengths(np.array([3, 0, 1]))
+
+    def test_kraft_inequality(self):
+        rng = np.random.default_rng(0)
+        counts = rng.integers(1, 1000, 50)
+        lengths = code_lengths(counts)
+        assert np.sum(2.0 ** -lengths) <= 1.0 + 1e-12
+
+
+class TestCanonicalCodes:
+    def test_prefix_free(self):
+        lengths = code_lengths(np.array([50, 20, 20, 5, 3, 2]))
+        codes = canonical_codes(lengths)
+        entries = sorted(
+            (f"{int(c):0{int(n)}b}") for c, n in zip(codes, lengths)
+        )
+        for a, b in zip(entries, entries[1:]):
+            assert not b.startswith(a), f"{a} prefixes {b}"
+
+    def test_deterministic_from_lengths(self):
+        lengths = np.array([2, 2, 2, 3, 3])
+        assert np.array_equal(canonical_codes(lengths), canonical_codes(lengths))
+
+
+class TestHuffmanRoundTrip:
+    @pytest.mark.parametrize(
+        "arr",
+        [
+            np.zeros(1000, dtype=np.int64),
+            np.array([5]),
+            np.arange(-300, 300),
+            np.random.default_rng(1).integers(-4, 4, 20000),
+            np.random.default_rng(2).integers(0, 30000, 3000),
+        ],
+    )
+    def test_round_trip(self, arr):
+        blob = HuffmanCodec.encode(arr)
+        assert np.array_equal(HuffmanCodec.decode(blob), arr)
+
+    def test_empty_array(self):
+        blob = HuffmanCodec.encode(np.empty(0, dtype=np.int64))
+        assert HuffmanCodec.decode(blob).size == 0
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            HuffmanCodec.encode(np.ones(4, dtype=np.float64))
+
+    def test_compresses_skewed_data(self):
+        rng = np.random.default_rng(3)
+        # 95% zeros: should approach ~0.3-0.5 bits/symbol before framing
+        arr = np.where(rng.random(50000) < 0.95, 0, rng.integers(-5, 5, 50000))
+        blob = HuffmanCodec.encode(arr)
+        assert len(blob) < 50000 * 0.25  # < 2 bits/symbol incl. overhead
+
+    def test_shape_is_flattened(self):
+        arr = np.arange(12).reshape(3, 4)
+        out = HuffmanCodec.decode(HuffmanCodec.encode(arr))
+        assert np.array_equal(out, arr.ravel())
+
+    @given(
+        st.lists(st.integers(-(2**31), 2**31), min_size=0, max_size=300)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_round_trip(self, values):
+        arr = np.array(values, dtype=np.int64)
+        assert np.array_equal(HuffmanCodec.decode(HuffmanCodec.encode(arr)), arr)

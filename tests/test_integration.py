@@ -1,0 +1,129 @@
+"""End-to-end integration tests across subsystems."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import max_error, psnr
+from repro.analysis.rdf import radial_distribution, rdf_deviation
+from repro.core.config import MDZConfig
+from repro.core.mdz import MDZ
+from repro.exceptions import DecompressionError
+from repro.io.batch import run_stream, stream_error_bound
+from repro.md import EinsteinCrystalModel, MDSimulation, fcc_lattice
+
+
+@pytest.fixture(scope="module")
+def crystal_trajectory():
+    lattice = fcc_lattice((5, 5, 5), a=3.615)
+    model = EinsteinCrystalModel(
+        sites=lattice.positions, amplitude=0.05, correlation=0.4
+    )
+    positions = model.generate(24, np.random.default_rng(3)).astype(
+        np.float32
+    )
+    return positions, lattice.box
+
+
+class TestSimulationToContainer:
+    def test_md_run_compress_analyze(self, crystal_trajectory):
+        """Generate -> compress -> decompress -> physical check."""
+        positions, box = crystal_trajectory
+        mdz = MDZ(MDZConfig(error_bound=1e-3, buffer_size=8))
+        blob = mdz.compress(positions)
+        assert len(blob) < positions.nbytes / 3
+        restored = mdz.decompress(blob)
+        # Point-wise bound per axis.
+        for a in range(3):
+            axis = positions[:, :, a].astype(np.float64)
+            bound = 1e-3 * (axis.max() - axis.min())
+            assert max_error(axis, restored[:, :, a]) <= bound * (1 + 1e-9)
+        # Physical fidelity: the RDF survives compression.
+        _, g_ref = radial_distribution(
+            positions[-1].astype(np.float64), box
+        )
+        _, g_out = radial_distribution(restored[-1], box)
+        assert rdf_deviation(g_ref, g_out) < 0.12
+
+    def test_real_md_trajectory_compresses(self):
+        """A genuine velocity-Verlet LJ run through the full pipeline."""
+        lattice = fcc_lattice((4, 4, 4), a=1.68)
+        sim = MDSimulation(
+            lattice.positions, lattice.box, temperature=1.0, seed=5
+        )
+        frames = []
+        sim.run(
+            30,
+            dump_every=3,
+            dump_callback=lambda s, p: frames.append(p) or 0.0,
+        )
+        positions = np.stack(frames).astype(np.float32)
+        decoded = run_stream(
+            "mdz", positions[:, :, 0], 1e-3, 5, decompress=True
+        )
+        bound = stream_error_bound(positions[:, :, 0], 1e-3)
+        err = np.abs(
+            decoded.reconstruction - positions[:, :, 0].astype(np.float64)
+        ).max()
+        assert err <= bound * (1 + 1e-9)
+        assert decoded.result.compression_ratio > 2
+
+
+class TestCrossBufferConsistency:
+    def test_buffer_size_changes_size_not_correctness(self, crystal_trajectory):
+        positions, _ = crystal_trajectory
+        stream = positions[:, :, 0]
+        bound = stream_error_bound(stream, 1e-3)
+        for bs in (3, 8, 24):
+            decoded = run_stream("mdz", stream, 1e-3, bs, decompress=True)
+            err = np.abs(
+                decoded.reconstruction - stream.astype(np.float64)
+            ).max()
+            assert err <= bound * (1 + 1e-9), bs
+
+    def test_tighter_bound_higher_fidelity(self, crystal_trajectory):
+        positions, _ = crystal_trajectory
+        stream = positions[:, :, 0]
+        psnrs = []
+        for eps in (1e-2, 1e-3, 1e-4):
+            decoded = run_stream("mdz", stream, eps, 8, decompress=True)
+            psnrs.append(
+                psnr(stream.astype(np.float64), decoded.reconstruction)
+            )
+        assert psnrs[0] < psnrs[1] < psnrs[2]
+
+
+class TestFailureInjection:
+    def test_truncated_container_detected(self, crystal_trajectory):
+        positions, _ = crystal_trajectory
+        mdz = MDZ(MDZConfig(buffer_size=8))
+        blob = mdz.compress(positions)
+        with pytest.raises(DecompressionError):
+            mdz.decompress(blob[: len(blob) // 2])
+
+    def test_corrupted_payload_detected(self, crystal_trajectory):
+        positions, _ = crystal_trajectory
+        mdz = MDZ(MDZConfig(buffer_size=8))
+        blob = bytearray(mdz.compress(positions))
+        # Flip bytes in the middle of the payload area.
+        mid = len(blob) // 2
+        for i in range(mid, mid + 16):
+            blob[i] ^= 0xFF
+        with pytest.raises(Exception) as exc_info:
+            mdz.decompress(bytes(blob))
+        # Never a silent wrong answer: the failure is a typed error.
+        assert isinstance(
+            exc_info.value, (DecompressionError, ValueError, KeyError)
+        )
+
+    def test_batch_order_violation_mt(self, smooth_stream):
+        """Decoding MT buffers out of order must fail loudly."""
+        from repro.baselines import SessionMeta, create_compressor
+
+        enc = create_compressor("mdz-mt")
+        enc.begin(0.01, SessionMeta(n_atoms=smooth_stream.shape[1]))
+        first = enc.compress_batch(smooth_stream[:10])
+        second = enc.compress_batch(smooth_stream[10:])
+        dec = create_compressor("mdz-mt")
+        dec.begin(0.01, SessionMeta(n_atoms=smooth_stream.shape[1]))
+        with pytest.raises(DecompressionError, match="order|reference"):
+            dec.decompress_batch(second)

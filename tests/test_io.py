@@ -1,0 +1,109 @@
+"""Tests for the dump format and the streaming batch harness."""
+
+import numpy as np
+import pytest
+
+from repro.io.batch import run_stream, stream_error_bound
+from repro.io.dump import (
+    DumpFormatError,
+    DumpFrame,
+    frames_to_array,
+    read_dump,
+    write_dump,
+)
+
+
+class TestDumpFormat:
+    def make_frames(self, rng, n_frames=3, n_atoms=20):
+        box = np.array([[0.0, 10.0], [0.0, 11.0], [0.0, 12.0]])
+        return [
+            DumpFrame(
+                timestep=100 * i,
+                box=box,
+                positions=rng.uniform(0, 10, (n_atoms, 3)),
+            )
+            for i in range(n_frames)
+        ]
+
+    def test_round_trip(self, rng, tmp_path):
+        frames = self.make_frames(rng)
+        path = tmp_path / "traj.dump"
+        assert write_dump(path, frames) == 3
+        back = list(read_dump(path))
+        assert [f.timestep for f in back] == [0, 100, 200]
+        for a, b in zip(frames, back):
+            assert np.allclose(a.positions, b.positions, atol=1e-6)
+            assert np.allclose(a.box, b.box)
+
+    def test_frames_to_array(self, rng, tmp_path):
+        frames = self.make_frames(rng, n_frames=4)
+        arr = frames_to_array(frames)
+        assert arr.shape == (4, 20, 3)
+
+    def test_empty_frames_rejected(self):
+        with pytest.raises(DumpFormatError):
+            frames_to_array([])
+
+    def test_corrupt_file_detected(self, tmp_path):
+        path = tmp_path / "bad.dump"
+        path.write_text("ITEM: NOT A DUMP\n42\n")
+        with pytest.raises(DumpFormatError):
+            next(read_dump(path))
+
+    def test_truncated_atoms_detected(self, rng, tmp_path):
+        frames = self.make_frames(rng, n_frames=1)
+        path = tmp_path / "trunc.dump"
+        write_dump(path, frames)
+        text = path.read_text().splitlines()[:-5]
+        path.write_text("\n".join(text) + "\n")
+        with pytest.raises(DumpFormatError):
+            list(read_dump(path))
+
+
+class TestStreamHarness:
+    def test_error_bound_resolution(self, crystal_stream):
+        bound = stream_error_bound(crystal_stream, 1e-3)
+        expected = 1e-3 * (crystal_stream.max() - crystal_stream.min())
+        assert bound == pytest.approx(expected)
+
+    def test_constant_stream_bound(self):
+        assert stream_error_bound(np.ones((3, 4)), 1e-3) == 1e-3
+
+    def test_run_stream_result_fields(self, crystal_stream):
+        decoded = run_stream("sz2", crystal_stream, 1e-3, 7, decompress=True)
+        result = decoded.result
+        assert result.raw_bytes == crystal_stream.size * 8  # float64 input
+        assert result.compressed_bytes == sum(decoded.per_batch_sizes)
+        assert result.compress_seconds > 0
+        assert result.decompress_seconds > 0
+        assert decoded.reconstruction.shape == crystal_stream.shape
+
+    def test_float32_raw_accounting(self, crystal_stream):
+        stream = crystal_stream.astype(np.float32)
+        decoded = run_stream("sz2", stream, 1e-3, 7)
+        assert decoded.result.raw_bytes == stream.size * 4
+
+    def test_lossless_needs_no_epsilon(self, crystal_stream):
+        decoded = run_stream(
+            "zlib", crystal_stream.astype(np.float32), None, 10,
+            decompress=True,
+        )
+        assert np.array_equal(
+            decoded.reconstruction,
+            crystal_stream.astype(np.float32).astype(np.float64),
+        )
+
+    def test_lossy_requires_epsilon(self, crystal_stream):
+        with pytest.raises(ValueError, match="error bound"):
+            run_stream("sz2", crystal_stream, None, 10)
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            run_stream("sz2", np.zeros((2, 3, 4)), 1e-3, 10)
+
+    def test_batches_cover_stream(self, crystal_stream):
+        decoded = run_stream("mdz", crystal_stream, 1e-3, 6, decompress=True)
+        assert len(decoded.per_batch_sizes) == 4  # 20 snapshots / 6
+        eb = stream_error_bound(crystal_stream, 1e-3)
+        err = np.abs(decoded.reconstruction - crystal_stream).max()
+        assert err <= eb * (1 + 1e-9)

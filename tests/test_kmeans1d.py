@@ -1,0 +1,129 @@
+"""Tests for the optimal 1-D k-means DP (repro.cluster.kmeans1d)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.kmeans1d import (
+    clustering_for_k,
+    kmeans_1d,
+    kmeans_1d_cost_profile,
+)
+
+
+def brute_force_cost(data: np.ndarray, k: int) -> float:
+    """Exhaustive optimal k-means cost over sorted 1-D data."""
+    d = np.sort(data)
+    n = d.size
+
+    def sse(seg):
+        seg = np.asarray(seg)
+        return float(((seg - seg.mean()) ** 2).sum()) if seg.size else 0.0
+
+    best = np.inf
+    for cuts in itertools.combinations(range(1, n), k - 1):
+        bounds = (0, *cuts, n)
+        cost = sum(sse(d[bounds[i] : bounds[i + 1]]) for i in range(k))
+        best = min(best, cost)
+    return best
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_matches_brute_force(self, k, rng):
+        data = rng.normal(0, 1, 9)
+        result = kmeans_1d(data, k)
+        assert result.cost == pytest.approx(brute_force_cost(data, k), abs=1e-9)
+
+    def test_separated_clusters_found_exactly(self, rng):
+        data = np.concatenate(
+            [rng.normal(c * 10, 0.1, 40) for c in range(5)]
+        )
+        result = kmeans_1d(data, 5)
+        assert np.allclose(np.sort(result.centroids), [0, 10, 20, 30, 40], atol=0.2)
+        assert result.cost < 40 * 5 * 0.1**2 * 3
+
+    def test_k_equals_n_zero_cost(self, rng):
+        data = rng.normal(0, 1, 6)
+        assert kmeans_1d(data, 6).cost == pytest.approx(0.0, abs=1e-12)
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_brute_force(self, data):
+        values = data.draw(
+            st.lists(
+                st.floats(-100, 100, allow_nan=False),
+                min_size=3,
+                max_size=8,
+            )
+        )
+        k = data.draw(st.integers(1, min(4, len(values))))
+        arr = np.array(values)
+        got = kmeans_1d(arr, k).cost
+        want = brute_force_cost(arr, k)
+        assert got == pytest.approx(want, abs=1e-6, rel=1e-6)
+
+
+class TestStructure:
+    def test_boundaries_partition_data(self, rng):
+        data = rng.normal(0, 5, 100)
+        result = kmeans_1d(data, 7)
+        assert result.boundaries[0] == 0
+        assert (np.diff(result.boundaries) >= 1).all()
+        assert result.boundaries[-1] < 100
+
+    def test_centroids_ascending(self, rng):
+        data = rng.uniform(0, 10, 60)
+        result = kmeans_1d(data, 5)
+        assert (np.diff(result.centroids) >= 0).all()
+
+    def test_cost_decreases_with_k(self, rng):
+        data = rng.uniform(0, 10, 80)
+        costs = [kmeans_1d(data, k).cost for k in range(1, 8)]
+        assert all(a >= b - 1e-9 for a, b in zip(costs, costs[1:]))
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans_1d(np.empty(0), 1)
+
+    def test_bad_k_rejected(self, rng):
+        with pytest.raises(ValueError):
+            kmeans_1d(rng.normal(0, 1, 5), 6)
+        with pytest.raises(ValueError):
+            kmeans_1d(rng.normal(0, 1, 5), 0)
+
+
+class TestCostProfile:
+    def test_profile_matches_individual_runs(self, rng):
+        data = rng.normal(0, 3, 50)
+        costs, h_rows, sorted_data = kmeans_1d_cost_profile(data, 5)
+        for k in range(1, 6):
+            assert costs[k - 1] == pytest.approx(
+                kmeans_1d(data, k).cost, rel=1e-9, abs=1e-9
+            )
+
+    def test_early_stop_callback(self, rng):
+        data = rng.normal(0, 3, 50)
+        costs, _, _ = kmeans_1d_cost_profile(
+            data, 40, stop=lambda c: c.size >= 4
+        )
+        assert costs.size == 4
+
+    def test_clustering_for_k_consistent(self, rng):
+        data = rng.normal(0, 3, 60)
+        costs, h_rows, sorted_data = kmeans_1d_cost_profile(data, 6)
+        for k in (1, 3, 6):
+            direct = kmeans_1d(data, k)
+            from_profile = clustering_for_k(sorted_data, h_rows, k)
+            assert from_profile.cost == pytest.approx(direct.cost, rel=1e-9, abs=1e-9)
+
+    def test_too_few_layers_rejected(self, rng):
+        data = rng.normal(0, 3, 20)
+        costs, h_rows, sorted_data = kmeans_1d_cost_profile(data, 2)
+        with pytest.raises(ValueError):
+            clustering_for_k(sorted_data, h_rows, 5)

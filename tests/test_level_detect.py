@@ -1,0 +1,91 @@
+"""Tests for the sampling-based level detector (Section VI-A)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.level_detect import (
+    MAX_CLUSTERS,
+    MAX_SAMPLE_POINTS,
+    LevelFit,
+    detect_levels,
+)
+
+
+class TestCrystalFits:
+    def test_clean_levels(self, rng):
+        data = np.concatenate(
+            [rng.normal(i * 2.5, 0.05, 150) for i in range(12)]
+        )
+        fit = detect_levels(data, seed=0)
+        assert fit.k == 12
+        assert fit.lam == pytest.approx(2.5, rel=0.05)
+        assert fit.residual < 0.05
+
+    def test_two_levels(self, rng):
+        data = np.concatenate(
+            [rng.normal(0, 0.02, 300), rng.normal(5, 0.02, 300)]
+        )
+        fit = detect_levels(data, seed=0)
+        assert fit.k == 2
+        assert fit.lam == pytest.approx(5.0, rel=0.05)
+
+    def test_level_index_and_value_inverse(self, rng):
+        data = np.concatenate(
+            [rng.normal(i * 1.8, 0.04, 100) for i in range(8)]
+        )
+        fit = detect_levels(data, seed=0)
+        indices = fit.level_index(data)
+        predictions = fit.level_value(indices)
+        assert np.max(np.abs(predictions - data)) < 0.5 * fit.lam
+
+    def test_deterministic_given_seed(self, rng):
+        data = np.concatenate(
+            [rng.normal(i * 2.0, 0.1, 200) for i in range(6)]
+        )
+        a = detect_levels(data, seed=7)
+        b = detect_levels(data, seed=7)
+        assert a.k == b.k and a.lam == b.lam and a.mu == b.mu
+
+
+class TestUnstructuredData:
+    def test_uniform_data_single_level(self, rng):
+        fit = detect_levels(rng.uniform(0, 10, 4000), seed=0)
+        assert fit.k == 1
+        assert fit.lam > 0
+
+    def test_gaussian_blob_single_level(self, rng):
+        fit = detect_levels(rng.normal(3, 1, 4000), seed=0)
+        assert fit.k == 1
+
+    def test_constant_axis(self):
+        fit = detect_levels(np.full(500, 4.25), seed=0)
+        assert fit.k == 1
+        assert fit.mu == pytest.approx(4.25)
+        assert fit.lam == 1.0  # placeholder spacing
+
+
+class TestSamplingBehaviour:
+    def test_sample_capped(self, rng):
+        # A very large snapshot must not blow up the DP: just verify it
+        # completes quickly and correctly despite > MAX_SAMPLE_POINTS data.
+        data = np.concatenate(
+            [rng.normal(i * 3.0, 0.05, 3000) for i in range(5)]
+        )
+        assert data.size > MAX_SAMPLE_POINTS
+        fit = detect_levels(data, seed=0)
+        assert fit.k == 5
+
+    def test_k_respects_cap(self, rng):
+        # 200 well-separated levels: cap at MAX_CLUSTERS.
+        data = np.concatenate(
+            [rng.normal(i * 2.0, 0.01, 20) for i in range(200)]
+        )
+        fit = detect_levels(data, seed=0)
+        assert fit.k <= MAX_CLUSTERS
+
+
+class TestLevelFitApi:
+    def test_is_dataclass_frozen(self):
+        fit = LevelFit(lam=1.0, mu=0.0, k=1, centroids=np.zeros(1), residual=0.0)
+        with pytest.raises(AttributeError):
+            fit.lam = 2.0

@@ -1,0 +1,56 @@
+"""Tests for the lossless backend layer (repro.sz.lossless)."""
+
+import pytest
+
+from repro.exceptions import DecompressionError
+from repro.sz.lossless import (
+    available_backends,
+    lossless_compress,
+    lossless_decompress,
+)
+
+
+class TestBackends:
+    def test_available_backends(self):
+        names = available_backends()
+        assert "zlib" in names
+        assert "lzma" in names
+        assert "bz2" in names
+
+    @pytest.mark.parametrize("backend", ["zlib", "lzma", "bz2"])
+    def test_round_trip(self, backend):
+        data = b"abc" * 1000 + bytes(range(256))
+        blob = lossless_compress(data, backend)
+        assert lossless_decompress(blob) == data
+
+    @pytest.mark.parametrize("backend", ["zlib", "lzma", "bz2"])
+    def test_empty_payload(self, backend):
+        assert lossless_decompress(lossless_compress(b"", backend)) == b""
+
+    def test_compresses_redundancy(self):
+        data = b"\x00" * 100_000
+        assert len(lossless_compress(data)) < 1000
+
+    def test_self_describing(self):
+        blob = lossless_compress(b"payload", "lzma")
+        # no backend argument needed to decompress
+        assert lossless_decompress(blob) == b"payload"
+
+
+class TestErrors:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown lossless backend"):
+            lossless_compress(b"x", "snappy")
+
+    def test_empty_blob_rejected(self):
+        with pytest.raises(DecompressionError):
+            lossless_decompress(b"")
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(DecompressionError, match="backend id"):
+            lossless_decompress(b"\xfe1234")
+
+    def test_corrupt_payload_rejected(self):
+        blob = lossless_compress(b"hello hello hello")
+        with pytest.raises(DecompressionError):
+            lossless_decompress(blob[:1] + b"garbage")

@@ -1,0 +1,224 @@
+"""Tests for the MD simulation substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SimulationError
+from repro.md.integrators import (
+    LangevinThermostat,
+    VelocityVerlet,
+    maxwell_boltzmann_velocities,
+)
+from repro.md.lattice import bcc_lattice, fcc_lattice, surface_slab
+from repro.md.neighbors import CellList
+from repro.md.potentials import LennardJones
+from repro.md.simulation import MDSimulation
+
+
+class TestLattices:
+    def test_fcc_atom_count(self):
+        assert fcc_lattice((3, 4, 5), 1.0).n_atoms == 3 * 4 * 5 * 4
+
+    def test_bcc_atom_count(self):
+        assert bcc_lattice((3, 3, 3), 1.0).n_atoms == 27 * 2
+
+    def test_fcc_nearest_neighbor_distance(self):
+        lat = fcc_lattice((4, 4, 4), 3.615)
+        cells = CellList(lat.box, cutoff=3.0)
+        _, _, rij = cells.pairs(lat.positions)
+        dist = np.linalg.norm(rij, axis=1)
+        assert dist.min() == pytest.approx(3.615 / np.sqrt(2), rel=1e-9)
+
+    def test_positions_inside_box(self):
+        lat = fcc_lattice((3, 3, 3), 2.0)
+        assert (lat.positions >= 0).all()
+        assert (lat.positions < lat.box).all()
+
+    def test_surface_slab_vacuum_and_adatoms(self):
+        lat = surface_slab((4, 4, 4), 2.0, vacuum_layers=3, n_adatoms=5,
+                           rng=np.random.default_rng(0))
+        assert lat.n_atoms == 4 * 4 * 4 * 4 + 5
+        assert lat.box[2] == pytest.approx(4 * 2.0 + 3 * 2.0)
+        # Adatoms sit above the bulk surface.
+        assert lat.positions[-5:, 2].min() > lat.positions[:-5, 2].max()
+
+    def test_invalid_cells_rejected(self):
+        with pytest.raises(ValueError):
+            fcc_lattice((0, 2, 2), 1.0)
+
+
+class TestCellList:
+    def brute_force_pairs(self, pos, box, cutoff):
+        n = pos.shape[0]
+        found = set()
+        for i in range(n):
+            for j in range(i + 1, n):
+                d = pos[j] - pos[i]
+                d -= box * np.rint(d / box)
+                if (d**2).sum() <= cutoff**2:
+                    found.add((i, j))
+        return found
+
+    @pytest.mark.parametrize("n_atoms", [10, 60])
+    def test_matches_brute_force(self, n_atoms, rng):
+        box = np.array([9.0, 10.0, 11.0])
+        pos = rng.uniform(0, box, (n_atoms, 3))
+        cutoff = 2.6
+        cells = CellList(box, cutoff)
+        i, j, rij = cells.pairs(pos)
+        got = {(min(a, b), max(a, b)) for a, b in zip(i.tolist(), j.tolist())}
+        assert len(got) == i.size  # no duplicates
+        assert got == self.brute_force_pairs(pos, box, cutoff)
+
+    def test_small_box_collapsed_axes(self, rng):
+        # box < 3*cutoff along every axis -> single-cell fallback
+        box = np.array([5.0, 5.0, 5.0])
+        pos = rng.uniform(0, box, (25, 3))
+        cells = CellList(box, cutoff=2.0)
+        i, j, _ = cells.pairs(pos)
+        got = {(min(a, b), max(a, b)) for a, b in zip(i.tolist(), j.tolist())}
+        assert len(got) == i.size
+        assert got == self.brute_force_pairs(pos, box, 2.0)
+
+    def test_displacement_is_minimum_image(self, rng):
+        box = np.array([10.0, 10.0, 10.0])
+        pos = np.array([[0.5, 5.0, 5.0], [9.5, 5.0, 5.0]])
+        cells = CellList(box, cutoff=2.0)
+        i, j, rij = cells.pairs(pos)
+        assert i.size == 1
+        assert abs(np.linalg.norm(rij[0]) - 1.0) < 1e-12
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(SimulationError):
+            CellList(np.array([1.0, -1.0, 1.0]), 0.5)
+        with pytest.raises(SimulationError):
+            CellList(np.ones(3), 0.0)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_no_duplicate_pairs(self, seed):
+        rng = np.random.default_rng(seed)
+        box = rng.uniform(6, 14, 3)
+        pos = rng.uniform(0, box, (40, 3))
+        cells = CellList(box, cutoff=2.5)
+        i, j, _ = cells.pairs(pos)
+        keys = set()
+        for a, b in zip(i.tolist(), j.tolist()):
+            assert a != b
+            key = (min(a, b), max(a, b))
+            assert key not in keys
+            keys.add(key)
+
+
+class TestLennardJones:
+    def test_minimum_at_r_min(self):
+        lj = LennardJones(cutoff=5.0)
+        # two atoms at the potential minimum -> near-zero force
+        pos = np.array([[0.0, 0.0, 0.0], [2.0 ** (1 / 6), 0.0, 0.0]])
+        cells = CellList(np.array([20.0, 20.0, 20.0]), 5.0)
+        forces, _ = lj.forces_energy(pos, cells)
+        assert np.abs(forces).max() < 1e-10
+
+    def test_forces_match_numeric_gradient(self, rng):
+        lj = LennardJones(cutoff=2.5)
+        box = np.array([8.0, 8.0, 8.0])
+        pos = fcc_lattice((2, 2, 2), 2.0).positions + rng.normal(0, 0.05, (32, 3))
+        cells = CellList(box, 2.5)
+        forces, _ = lj.forces_energy(pos, cells)
+        h = 1e-6
+        for idx in [(0, 0), (7, 1), (20, 2)]:
+            atom, axis = idx
+            plus = pos.copy()
+            plus[atom, axis] += h
+            minus = pos.copy()
+            minus[atom, axis] -= h
+            _, e_plus = lj.forces_energy(plus, cells)
+            _, e_minus = lj.forces_energy(minus, cells)
+            numeric = -(e_plus - e_minus) / (2 * h)
+            assert forces[atom, axis] == pytest.approx(numeric, rel=1e-4, abs=1e-5)
+
+    def test_newton_third_law(self, rng):
+        lj = LennardJones()
+        box = np.array([10.0, 10.0, 10.0])
+        pos = rng.uniform(0, box, (50, 3))
+        # avoid overlapping atoms
+        pos = fcc_lattice((2, 2, 2), 2.5).positions
+        cells = CellList(np.array([5.0, 5.0, 5.0]), 2.5)
+        forces, _ = lj.forces_energy(pos, cells)
+        assert np.abs(forces.sum(axis=0)).max() < 1e-9
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            LennardJones(sigma=-1.0)
+
+
+class TestIntegrators:
+    def test_maxwell_boltzmann_temperature(self, rng):
+        v = maxwell_boltzmann_velocities(5000, 1.5, np.ones(5000), rng)
+        kinetic = 0.5 * np.sum(v**2)
+        temp = 2 * kinetic / (3 * 5000)
+        assert temp == pytest.approx(1.5, rel=0.05)
+        assert np.abs(v.mean(axis=0)).max() < 1e-12
+
+    def test_invalid_timestep_rejected(self):
+        with pytest.raises(SimulationError):
+            VelocityVerlet(dt=0.0)
+
+    def test_invalid_thermostat_rejected(self):
+        with pytest.raises(SimulationError):
+            LangevinThermostat(temperature=-1.0)
+        with pytest.raises(SimulationError):
+            LangevinThermostat(temperature=1.0, friction=0.0)
+
+    def test_thermostat_relaxes_to_target(self, rng):
+        thermostat = LangevinThermostat(temperature=2.0, friction=2.0, seed=3)
+        v = np.zeros((2000, 3))
+        masses = np.ones(2000)
+        for _ in range(200):
+            thermostat.apply(v, masses, dt=0.05)
+        temp = np.sum(v**2) / (3 * 2000)
+        assert temp == pytest.approx(2.0, rel=0.1)
+
+
+class TestSimulation:
+    def test_nve_energy_conservation(self):
+        lat = fcc_lattice((3, 3, 3), 1.7)
+        sim = MDSimulation(lat.positions, lat.box, temperature=0.5, seed=2, dt=0.002)
+        sim.thermostat = None  # switch to NVE after thermal init
+        e0 = sim.potential_energy + sim.kinetic_energy
+        sim.run(150)
+        e1 = sim.potential_energy + sim.kinetic_energy
+        assert abs(e1 - e0) / abs(e0) < 5e-3
+
+    def test_thermostat_holds_temperature(self):
+        lat = fcc_lattice((3, 3, 3), 1.7)
+        sim = MDSimulation(
+            lat.positions, lat.box, temperature=1.0, friction=5.0, seed=4
+        )
+        sim.run(250)
+        assert sim.temperature == pytest.approx(1.0, rel=0.25)
+
+    def test_dump_callback_invoked(self):
+        lat = fcc_lattice((2, 2, 2), 1.7)
+        sim = MDSimulation(lat.positions, lat.box, temperature=0.5, seed=1)
+        seen = []
+        report = sim.run(
+            20, dump_every=5, dump_callback=lambda s, p: seen.append(s) or 0.1
+        )
+        assert seen == [5, 10, 15, 20]
+        assert report.dumped_snapshots == 4
+        # the callback's returned 0.1s extra I/O must be accounted
+        assert report.output_seconds >= 0.4
+
+    def test_report_fractions_sum_to_one(self):
+        lat = fcc_lattice((2, 2, 2), 1.7)
+        sim = MDSimulation(lat.positions, lat.box, temperature=0.5, seed=1)
+        report = sim.run(10)
+        fr = report.fractions()
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_bad_positions_shape_rejected(self):
+        with pytest.raises(SimulationError):
+            MDSimulation(np.zeros((5, 2)), np.ones(3))

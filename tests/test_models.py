@@ -1,0 +1,124 @@
+"""Tests for the surrogate dynamics models (repro.md.models)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.md.models import (
+    DefectHoppingModel,
+    EinsteinCrystalModel,
+    RouseChainModel,
+    _ou_series,
+)
+
+
+class TestOUSeries:
+    def test_stationary_variance(self, rng):
+        series = _ou_series(rng, 4000, (200,), np.full(200, 0.5), 0.8)
+        assert series.std() == pytest.approx(0.5, rel=0.1)
+
+    def test_correlation_structure(self, rng):
+        series = _ou_series(rng, 6000, (50,), np.ones(50), 0.7)
+        x0, x1 = series[:-1].ravel(), series[1:].ravel()
+        corr = np.corrcoef(x0, x1)[0, 1]
+        assert corr == pytest.approx(0.7, abs=0.05)
+
+    def test_zero_correlation_white(self, rng):
+        series = _ou_series(rng, 3000, (20,), np.ones(20), 0.0)
+        corr = np.corrcoef(series[:-1].ravel(), series[1:].ravel())[0, 1]
+        assert abs(corr) < 0.05
+
+    def test_invalid_rho_rejected(self, rng):
+        with pytest.raises(SimulationError):
+            _ou_series(rng, 10, (5,), np.ones(5), 1.5)
+
+
+class TestEinsteinCrystal:
+    def test_shape_and_site_anchoring(self, rng):
+        sites = rng.uniform(0, 10, (100, 3))
+        model = EinsteinCrystalModel(sites=sites, amplitude=0.05, correlation=0.5)
+        frames = model.generate(30, rng)
+        assert frames.shape == (30, 100, 3)
+        assert np.abs(frames - sites[None]).max() < 1.0
+
+    def test_anisotropic_amplitudes(self, rng):
+        sites = np.zeros((400, 3))
+        model = EinsteinCrystalModel(
+            sites=sites, amplitude=[0.5, 0.05, 0.005], correlation=0.0
+        )
+        frames = model.generate(50, rng)
+        stds = frames.std(axis=(0, 1))
+        assert stds[0] > 5 * stds[1] > 5 * stds[2]
+
+    def test_hopping_moves_sites_by_lattice_step(self, rng):
+        sites = np.zeros((50, 3))
+        model = EinsteinCrystalModel(
+            sites=sites,
+            amplitude=1e-4,
+            correlation=0.0,
+            hop_rate=0.5,
+            hop_distance=2.0,
+        )
+        frames = model.generate(40, rng)
+        # Displacements are near-multiples of the hop distance.
+        final = frames[-1] - frames[0]
+        big = np.abs(final) > 0.5
+        assert big.any()
+        ratio = np.abs(final[big]) / 2.0
+        assert np.allclose(ratio, np.rint(ratio), atol=0.01)
+
+    def test_drift_applies_collectively(self, rng):
+        sites = rng.uniform(0, 5, (200, 3))
+        model = EinsteinCrystalModel(
+            sites=sites, amplitude=1e-5, correlation=0.0, drift_sigma=0.3
+        )
+        frames = model.generate(60, rng)
+        # The per-snapshot mean displacement is shared by all atoms.
+        displaced = frames[30] - sites
+        assert displaced.std(axis=0).max() < 0.01
+
+
+class TestDefectHopping:
+    def test_only_defects_wander(self, rng):
+        sites = rng.uniform(0, 20, (80, 3))
+        model = DefectHoppingModel(
+            sites=sites,
+            amplitude=0.01,
+            correlation=0.5,
+            n_defects=4,
+            defect_hop_rate=0.8,
+            hop_distance=1.5,
+        )
+        frames = model.generate(60, rng)
+        drift = np.abs(frames[-1] - frames[0]).max(axis=1)
+        wanderers = (drift > 1.0).sum()
+        assert 1 <= wanderers <= 4
+
+
+class TestRouseChain:
+    def test_shape_includes_solvent(self, rng):
+        model = RouseChainModel(n_beads=50, n_chains=2, n_solvent=200)
+        frames = model.generate(15, rng)
+        assert frames.shape == (15, 300, 3)
+
+    def test_solvent_stays_in_box(self, rng):
+        model = RouseChainModel(
+            n_beads=2, n_solvent=500, box=30.0, solvent_step=2.0
+        )
+        frames = model.generate(40, rng)
+        solvent = frames[:, 2:, :]
+        assert solvent.min() >= 0.0
+        assert solvent.max() <= 30.0
+
+    def test_mode_correlation_controls_smoothness(self, rng):
+        slow = RouseChainModel(
+            n_beads=100, base_correlation=0.95, local_correlation=0.95,
+            mode_sigma=2.0,
+        ).generate(40, np.random.default_rng(0))
+        fast = RouseChainModel(
+            n_beads=100, base_correlation=0.05, local_correlation=0.05,
+            mode_sigma=2.0,
+        ).generate(40, np.random.default_rng(0))
+        step_slow = np.abs(np.diff(slow, axis=0)).mean()
+        step_fast = np.abs(np.diff(fast, axis=0)).mean()
+        assert step_fast > 2 * step_slow

@@ -1,0 +1,163 @@
+"""Tests for the grid-anchored SZ predictors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sz.predictors import (
+    lorenzo_1d_codes,
+    lorenzo_1d_reconstruct,
+    lorenzo_2d_codes,
+    lorenzo_2d_reconstruct,
+    reference_codes,
+    reference_reconstruct,
+    timewise_codes,
+    timewise_reconstruct,
+)
+from repro.sz.quantizer import LinearQuantizer
+
+EB = 1e-3
+TOL = EB * (1 + 1e-9) + 1e-12
+
+
+@pytest.fixture
+def quantizer():
+    return LinearQuantizer(EB)
+
+
+class TestLorenzo1D:
+    def test_smooth_data_bound(self, quantizer, rng):
+        data = np.cumsum(rng.normal(0, 0.002, 4000)) + 7.0
+        block = lorenzo_1d_codes(data, quantizer, anchor=data[0])
+        recon = lorenzo_1d_reconstruct(block, quantizer, anchor=data[0])
+        assert np.max(np.abs(recon - data)) <= TOL
+
+    def test_jumpy_data_uses_side_channel(self, quantizer, rng):
+        data = np.cumsum(rng.normal(0, 0.002, 1000))
+        data[::50] += 10.0  # far outside the quantization scale
+        block = lorenzo_1d_codes(data, quantizer, anchor=data[0])
+        assert block.n_out_of_scope > 0
+        recon = lorenzo_1d_reconstruct(block, quantizer, anchor=data[0])
+        assert np.max(np.abs(recon - data)) <= TOL
+
+    def test_matches_sequential_reference(self, quantizer, rng):
+        """The vectorized codes equal a naive sequential encoder's."""
+        data = np.cumsum(rng.normal(0, 0.001, 200)) + 3.0
+        block = lorenzo_1d_codes(data, quantizer, anchor=data[0])
+        # naive sequential: predict from previous reconstruction
+        w = quantizer.bin_width
+        prev = data[0]
+        seq_codes = [0]
+        anchor = data[0]
+        prev = anchor + w * round((data[0] - anchor) / w)
+        for d in data[1:]:
+            code = round((d - prev) / w)
+            seq_codes.append(code)
+            prev = prev + code * w
+        assert np.array_equal(block.codes, seq_codes)
+
+    def test_constant_data_all_zero_codes(self, quantizer):
+        data = np.full(100, 2.5)
+        block = lorenzo_1d_codes(data, quantizer, anchor=2.5)
+        assert not block.codes.any()
+
+
+class TestLorenzo2D:
+    def test_bound_on_correlated_plane(self, quantizer, rng):
+        plane = np.add.outer(
+            np.cumsum(rng.normal(0, 0.02, 30)),
+            np.cumsum(rng.normal(0, 0.02, 80)),
+        )
+        block = lorenzo_2d_codes(plane, quantizer, anchor=0.0)
+        recon = lorenzo_2d_reconstruct(block, quantizer, anchor=0.0)
+        assert np.max(np.abs(recon - plane)) <= TOL
+
+    def test_out_of_scope_rectangle_fixes(self, quantizer, rng):
+        plane = rng.normal(0, 0.001, (20, 20)).cumsum(axis=0)
+        plane[5, 5] += 50.0
+        plane[5, 6] -= 30.0
+        plane[12, 3] += 40.0
+        block = lorenzo_2d_codes(plane, quantizer, anchor=0.0)
+        assert block.n_out_of_scope >= 3
+        recon = lorenzo_2d_reconstruct(block, quantizer, anchor=0.0)
+        assert np.max(np.abs(recon - plane)) <= TOL
+
+    def test_requires_2d(self, quantizer):
+        with pytest.raises(ValueError):
+            lorenzo_2d_codes(np.zeros(5), quantizer, 0.0)
+
+
+class TestTimewise:
+    def test_bound(self, quantizer, rng):
+        base = rng.normal(0, 2, 150)
+        batch = base[None, :] + np.cumsum(
+            rng.normal(0, 0.001, (12, 150)), axis=0
+        )
+        block = timewise_codes(batch, quantizer, base)
+        recon = timewise_reconstruct(block, quantizer, base)
+        assert np.max(np.abs(recon - batch)) <= TOL
+
+    def test_resets_in_chains(self, quantizer, rng):
+        base = rng.normal(0, 1, 40)
+        batch = base[None, :] + rng.normal(0, 0.0005, (10, 40))
+        batch[3, 7] += 25.0
+        batch[8, 7] -= 12.0  # second reset in the same atom's chain
+        block = timewise_codes(batch, quantizer, base)
+        assert block.order == "F"
+        recon = timewise_reconstruct(block, quantizer, base)
+        assert np.max(np.abs(recon - batch)) <= TOL
+
+    def test_requires_2d(self, quantizer):
+        with pytest.raises(ValueError):
+            timewise_codes(np.zeros(5), quantizer, np.zeros(5))
+
+
+class TestReference:
+    def test_bound(self, quantizer, rng):
+        ref = rng.normal(0, 3, 500)
+        snap = ref + rng.normal(0, 0.0008, 500)
+        block = reference_codes(snap, quantizer, ref)
+        recon = reference_reconstruct(block, quantizer, ref)
+        assert np.max(np.abs(recon - snap)) <= TOL
+
+    def test_far_values_via_side_channel(self, quantizer, rng):
+        ref = np.zeros(50)
+        snap = rng.normal(0, 0.0005, 50)
+        snap[10] = 99.0
+        block = reference_codes(snap, quantizer, ref)
+        assert block.n_out_of_scope == 1
+        recon = reference_reconstruct(block, quantizer, ref)
+        assert np.max(np.abs(recon - snap)) <= TOL
+
+
+class TestPropertyBounds:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_all_predictors_respect_bound(self, data):
+        seed = data.draw(st.integers(0, 2**31))
+        eb = data.draw(st.sampled_from([1e-4, 1e-3, 1e-2, 0.5]))
+        scale = data.draw(st.sampled_from([16, 1024]))
+        rng = np.random.default_rng(seed)
+        q = LinearQuantizer(eb, scale=scale)
+        t, n = 6, 30
+        batch = rng.normal(0, 1, (t, n)) * data.draw(
+            st.sampled_from([0.01, 1.0, 100.0])
+        )
+        tol = eb * (1 + 1e-9) + 1e-9
+        b1 = lorenzo_1d_codes(batch[0], q, anchor=batch[0, 0])
+        assert (
+            np.abs(lorenzo_1d_reconstruct(b1, q, batch[0, 0]) - batch[0]).max()
+            <= tol
+        )
+        b2 = lorenzo_2d_codes(batch, q, anchor=0.0)
+        assert np.abs(lorenzo_2d_reconstruct(b2, q, 0.0) - batch).max() <= tol
+        base = batch[0]
+        b3 = timewise_codes(batch[1:], q, base)
+        assert (
+            np.abs(timewise_reconstruct(b3, q, base) - batch[1:]).max() <= tol
+        )
+        b4 = reference_codes(batch[1], q, base)
+        assert (
+            np.abs(reference_reconstruct(b4, q, base) - batch[1]).max() <= tol
+        )

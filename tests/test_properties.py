@@ -1,0 +1,143 @@
+"""Cross-cutting hypothesis property tests.
+
+The library's central invariants, stressed with generated inputs:
+
+* every lossy compressor honours the absolute error bound on arbitrary
+  finite streams;
+* every lossless compressor is bit-exact;
+* the MDZ container round-trips arbitrary trajectories;
+* the Gorilla and fpzip integer mappings are involutions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import SessionMeta, create_compressor
+from repro.baselines.fpzip_like import float_to_ordered, ordered_to_float
+from repro.baselines.gorilla import gorilla_decode, gorilla_encode
+from repro.core.config import MDZConfig
+from repro.core.mdz import MDZ
+
+#: Fast representatives of each compressor family for property testing.
+LOSSY_SAMPLE = ("mdz", "sz2-2d", "tng", "mdb", "zfp")
+LOSSLESS_SAMPLE = ("zstd", "fpzip")
+
+
+def _stream(draw) -> np.ndarray:
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    t = draw(st.integers(1, 8))
+    n = draw(st.integers(2, 40))
+    kind = draw(st.sampled_from(["levels", "walk", "uniform", "constant"]))
+    if kind == "levels":
+        base = rng.integers(0, 6, n) * 2.0
+        return base[None, :] + rng.normal(0, 0.05, (t, n))
+    if kind == "walk":
+        return np.cumsum(rng.normal(0, 0.3, (t, n)), axis=0)
+    if kind == "uniform":
+        return rng.uniform(-50, 50, (t, n))
+    return np.full((t, n), float(draw(st.sampled_from([0.0, -3.25, 1e6]))))
+
+
+class TestLossyBoundProperty:
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_bound_holds(self, data):
+        stream = _stream(data.draw)
+        name = data.draw(st.sampled_from(LOSSY_SAMPLE))
+        eb = data.draw(st.sampled_from([1e-3, 1e-2, 0.5]))
+        value_range = float(stream.max() - stream.min())
+        bound = eb * value_range if value_range else eb
+        enc = create_compressor(name)
+        dec = create_compressor(name)
+        meta = SessionMeta(n_atoms=stream.shape[1])
+        enc.begin(bound, meta)
+        dec.begin(bound, meta)
+        out = dec.decompress_batch(enc.compress_batch(stream))
+        assert np.max(np.abs(np.asarray(out) - stream)) <= bound * (
+            1 + 1e-9
+        ) + 1e-12
+
+
+class TestLosslessProperty:
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_bit_exact(self, data):
+        stream = _stream(data.draw).astype(np.float32)
+        name = data.draw(st.sampled_from(LOSSLESS_SAMPLE))
+        enc = create_compressor(name)
+        dec = create_compressor(name)
+        meta = SessionMeta(n_atoms=stream.shape[1])
+        enc.begin(None, meta)
+        dec.begin(None, meta)
+        out = dec.decompress_batch(enc.compress_batch(stream))
+        assert np.array_equal(np.asarray(out), stream)
+
+
+class TestContainerProperty:
+    @given(st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_container_round_trip(self, data):
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+        t = data.draw(st.integers(1, 12))
+        n = data.draw(st.integers(2, 30))
+        bs = data.draw(st.integers(1, 6))
+        positions = rng.normal(0, 3, (t, n, 3))
+        mdz = MDZ(MDZConfig(error_bound=1e-3, buffer_size=bs))
+        out = mdz.decompress(mdz.compress(positions))
+        for a in range(3):
+            axis = positions[:, :, a]
+            bound = 1e-3 * (axis.max() - axis.min())
+            assert np.max(np.abs(out[:, :, a] - axis)) <= bound * (1 + 1e-9)
+
+
+class TestBitMappings:
+    @given(
+        st.lists(
+            st.floats(allow_nan=False, width=64), min_size=1, max_size=64
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ordered_mapping_involution(self, values):
+        arr = np.array(values, dtype=np.float64)
+        mapped = float_to_ordered(arr)
+        back = ordered_to_float(mapped)
+        assert np.array_equal(back.view(np.uint64), arr.view(np.uint64))
+
+    @given(
+        st.lists(
+            st.floats(allow_nan=False, width=32), min_size=1, max_size=64
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ordered_mapping_monotone_32(self, values):
+        arr = np.sort(np.unique(np.array(values, dtype=np.float32)))
+        mapped = float_to_ordered(arr).astype(np.int64)
+        assert (np.diff(mapped) > 0).all()
+
+    @given(
+        st.lists(st.floats(allow_nan=False), min_size=0, max_size=100),
+        st.sampled_from([4, 8]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_gorilla_round_trip(self, values, width):
+        ftype = np.float64 if width == 8 else np.float32
+        with np.errstate(over="ignore"):  # f64 -> f32 overflow is fine here
+            arr = np.array(values, dtype=ftype)
+        out = gorilla_decode(gorilla_encode(arr, width=width))
+        assert np.array_equal(
+            out.view(np.uint64 if width == 8 else np.uint32),
+            arr.view(np.uint64 if width == 8 else np.uint32),
+        )
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["mdz", "sz2", "tng", "lfzip"])
+    def test_compression_is_deterministic(self, name, crystal_stream):
+        blobs = []
+        for _ in range(2):
+            enc = create_compressor(name)
+            enc.begin(0.01, SessionMeta(n_atoms=crystal_stream.shape[1]))
+            blobs.append(enc.compress_batch(crystal_stream))
+        assert blobs[0] == blobs[1]

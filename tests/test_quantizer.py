@@ -1,0 +1,154 @@
+"""Tests for the linear-scale quantizer and chain reconstruction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, DecompressionError
+from repro.sz.quantizer import DEFAULT_SCALE, LinearQuantizer, QuantizedBlock
+
+
+class TestConstruction:
+    def test_defaults(self):
+        q = LinearQuantizer(0.01)
+        assert q.scale == DEFAULT_SCALE
+        assert q.bin_width == pytest.approx(0.02)
+        assert q.radius == DEFAULT_SCALE // 2
+        assert q.marker == q.radius
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_invalid_bound_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            LinearQuantizer(bad)
+
+    def test_tiny_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearQuantizer(0.01, scale=2)
+
+
+class TestGridLevels:
+    def test_error_bound_guarantee(self, rng):
+        q = LinearQuantizer(1e-3)
+        values = rng.normal(0, 5, 10000)
+        levels = q.grid_levels(values, anchor=1.25)
+        recon = q.dequantize_levels(levels, anchor=1.25)
+        assert np.max(np.abs(recon - values)) <= 1e-3 + 1e-12
+
+    def test_vector_anchor(self, rng):
+        q = LinearQuantizer(0.05)
+        anchor = rng.normal(0, 1, 100)
+        values = anchor + rng.normal(0, 0.3, (7, 100))
+        levels = q.grid_levels(values, anchor[None, :])
+        recon = q.dequantize_levels(levels, anchor[None, :])
+        assert np.max(np.abs(recon - values)) <= 0.05 + 1e-12
+
+    @given(
+        st.floats(1e-6, 10.0),
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_bound(self, eb, values):
+        q = LinearQuantizer(eb)
+        arr = np.array(values)
+        recon = q.dequantize_levels(q.grid_levels(arr, 0.0), 0.0)
+        assert np.max(np.abs(recon - arr)) <= eb * (1 + 1e-9) + 1e-12
+
+
+class TestSplit:
+    def test_in_scope_passthrough(self):
+        q = LinearQuantizer(0.5, scale=16)
+        codes = np.array([[0, 3, -7], [1, -2, 5]])
+        block = q.split(codes, codes * 10)
+        assert np.array_equal(block.codes, codes)
+        assert block.n_out_of_scope == 0
+
+    def test_out_of_scope_marked(self):
+        q = LinearQuantizer(0.5, scale=16)  # radius 8
+        codes = np.array([1, 20, -9, 3])
+        absolute = np.array([100, 200, 300, 400])
+        block = q.split(codes, absolute)
+        assert block.codes[1] == q.marker
+        assert block.codes[2] == q.marker
+        assert np.array_equal(block.wide, [200, 300])
+
+    def test_fortran_order_extraction(self):
+        q = LinearQuantizer(0.5, scale=8)  # radius 4
+        codes = np.array([[9, 0], [0, 9]])
+        absolute = np.array([[10, 20], [30, 40]])
+        block = q.split(codes, absolute, order="F")
+        # Column-major: (0,0) then (1,1)
+        assert np.array_equal(block.wide, [10, 40])
+
+    def test_bad_order_rejected(self):
+        q = LinearQuantizer(0.5)
+        with pytest.raises(ValueError):
+            q.split(np.zeros(3, np.int64), np.zeros(3, np.int64), order="X")
+
+
+class TestMergeIndependent:
+    def test_round_trip(self):
+        q = LinearQuantizer(0.5, scale=16)
+        codes = np.array([1, 20, -9, 3])
+        block = q.split(codes, codes)
+        assert np.array_equal(q.merge_independent(block), codes)
+
+    def test_mismatch_detected(self):
+        q = LinearQuantizer(0.5, scale=16)
+        block = QuantizedBlock(
+            codes=np.array([q.marker, 0]),
+            wide=np.empty(0, dtype=np.int64),
+            marker=q.marker,
+        )
+        with pytest.raises(DecompressionError):
+            q.merge_independent(block)
+
+
+class TestChainReconstruct:
+    def test_no_resets(self):
+        q = LinearQuantizer(0.5, scale=64)
+        s = np.array([0, 1, 3, 2, 2, -4])
+        codes = np.diff(s, prepend=np.int64(0))
+        block = q.split(codes, s)
+        assert np.array_equal(q.chain_reconstruct(block, axis=0), s)
+
+    def test_resets_latest_wins(self):
+        q = LinearQuantizer(0.5, scale=8)  # radius 4
+        s = np.array([0, 100, 101, 250, 251])  # two jumps out of scope
+        codes = np.diff(s, prepend=np.int64(0))
+        block = q.split(codes, s)
+        assert block.n_out_of_scope == 2
+        assert np.array_equal(q.chain_reconstruct(block, axis=0), s)
+
+    def test_2d_time_axis(self, rng):
+        q = LinearQuantizer(0.5, scale=16)
+        s = rng.integers(-3, 3, (10, 5)).cumsum(axis=0)
+        s[4, 2] += 500  # force a reset mid-chain
+        s[7, 2] += 300  # and another in the same chain
+        codes = np.diff(s, axis=0, prepend=np.zeros((1, 5), np.int64))
+        block = q.split(codes, s, order="F")
+        assert np.array_equal(q.chain_reconstruct(block, axis=0), s)
+
+    def test_wide_mismatch_detected(self):
+        q = LinearQuantizer(0.5, scale=8)
+        block = QuantizedBlock(
+            codes=np.array([[q.marker]]),
+            wide=np.empty(0, dtype=np.int64),
+            marker=q.marker,
+            order="F",
+        )
+        with pytest.raises(DecompressionError):
+            q.chain_reconstruct(block, axis=0)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_property_chain_round_trip(self, data):
+        rng_seed = data.draw(st.integers(0, 2**31))
+        rng = np.random.default_rng(rng_seed)
+        t, n = data.draw(st.tuples(st.integers(2, 12), st.integers(1, 8)))
+        scale = data.draw(st.sampled_from([8, 16, 64]))
+        q = LinearQuantizer(0.5, scale=scale)
+        s = rng.integers(-1000, 1000, (t, n))
+        codes = np.diff(s, axis=0, prepend=np.zeros((1, n), np.int64))
+        block = q.split(codes, s, order="F")
+        assert np.array_equal(q.chain_reconstruct(block, axis=0), s)

@@ -1,0 +1,120 @@
+"""Tests for trajectory statistics (MSD / VACF / diffusion) and the
+extended compression-fidelity checks built on them."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import (
+    diffusion_coefficient,
+    displacement_histogram,
+    mean_squared_displacement,
+    velocity_autocorrelation,
+)
+from repro.core.config import MDZConfig
+from repro.core.mdz import MDZ
+
+
+class TestMSD:
+    def test_static_atoms_zero_msd(self):
+        positions = np.ones((10, 20, 3)) * 4.2
+        msd = mean_squared_displacement(positions)
+        assert np.allclose(msd, 0.0)
+
+    def test_ballistic_motion_quadratic(self):
+        t = np.arange(20, dtype=np.float64)
+        velocity = np.array([1.0, 0.0, 0.0])
+        positions = np.zeros((20, 5, 3)) + t[:, None, None] * velocity
+        msd = mean_squared_displacement(positions, max_lag=8)
+        lags = np.arange(9, dtype=np.float64)
+        assert np.allclose(msd, lags**2)
+
+    def test_random_walk_linear(self, rng):
+        steps = rng.normal(0, 0.5, (400, 200, 3))
+        positions = np.cumsum(steps, axis=0)
+        msd = mean_squared_displacement(positions, max_lag=20)
+        # MSD(tau) = 3 * sigma^2 * tau for a 3D Gaussian walk
+        expected = 3 * 0.25 * np.arange(21)
+        assert np.allclose(msd, expected, rtol=0.1)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            mean_squared_displacement(np.zeros((5, 4)))
+
+
+class TestVACF:
+    def test_unit_at_zero_lag(self, rng):
+        v = rng.normal(0, 1, (30, 50, 3))
+        vacf = velocity_autocorrelation(v)
+        assert vacf[0] == 1.0
+
+    def test_white_noise_decorrelates(self, rng):
+        v = rng.normal(0, 1, (300, 100, 3))
+        vacf = velocity_autocorrelation(v, max_lag=5)
+        assert np.abs(vacf[1:]).max() < 0.05
+
+    def test_constant_velocity_stays_one(self):
+        v = np.ones((20, 10, 3))
+        vacf = velocity_autocorrelation(v, max_lag=5)
+        assert np.allclose(vacf, 1.0)
+
+    def test_zero_velocities_no_nan(self):
+        vacf = velocity_autocorrelation(np.zeros((10, 5, 3)))
+        assert np.allclose(vacf, 0.0)
+
+
+class TestDiffusion:
+    def test_known_walk_coefficient(self, rng):
+        dt = 0.1
+        sigma = 0.3
+        steps = rng.normal(0, sigma, (600, 300, 3))
+        positions = np.cumsum(steps, axis=0)
+        d = diffusion_coefficient(positions, dt)
+        # D = sigma^2 / (2 dt) per axis -> MSD slope 6D = 3 sigma^2 / dt
+        expected = sigma**2 / (2 * dt)
+        assert d == pytest.approx(expected, rel=0.15)
+
+    def test_tiny_fit_range_rejected(self, rng):
+        positions = np.cumsum(rng.normal(0, 1, (10, 5, 3)), axis=0)
+        with pytest.raises(ValueError):
+            diffusion_coefficient(positions, 0.1, fit_range=(2, 3))
+
+
+class TestDisplacementHistogram:
+    def test_density_normalized(self, rng):
+        positions = np.cumsum(rng.normal(0, 0.2, (30, 100, 3)), axis=0)
+        centers, density = displacement_histogram(positions, lag=2)
+        widths = centers[1] - centers[0]
+        assert np.sum(density) * widths == pytest.approx(1.0, rel=1e-6)
+
+    def test_invalid_lag_rejected(self, rng):
+        positions = rng.normal(0, 1, (5, 10, 3))
+        with pytest.raises(ValueError):
+            displacement_histogram(positions, lag=5)
+
+
+class TestCompressionPreservesStatistics:
+    """Extended fidelity: MSD/VACF survive compression at sane bounds."""
+
+    def test_msd_preserved(self, rng):
+        steps = rng.normal(0, 0.2, (40, 150, 3))
+        positions = np.cumsum(steps, axis=0) + rng.uniform(0, 30, (1, 150, 3))
+        mdz = MDZ(MDZConfig(error_bound=1e-3, buffer_size=10))
+        restored = mdz.decompress(mdz.compress(positions))
+        msd_ref = mean_squared_displacement(positions, max_lag=10)
+        msd_out = mean_squared_displacement(restored, max_lag=10)
+        assert np.allclose(msd_out[1:], msd_ref[1:], rtol=0.05)
+
+    def test_vacf_preserved(self, rng):
+        # OU velocities -> exponentially decaying VACF
+        v = np.empty((60, 200, 3))
+        v[0] = rng.normal(0, 1, (200, 3))
+        for t in range(1, 60):
+            v[t] = 0.8 * v[t - 1] + 0.6 * rng.normal(0, 1, (200, 3))
+        positions = np.cumsum(v, axis=0) * 0.05
+        mdz = MDZ(MDZConfig(error_bound=1e-4, buffer_size=10))
+        restored = mdz.decompress(mdz.compress(positions))
+        velocity_out = np.diff(restored, axis=0)
+        velocity_ref = np.diff(positions, axis=0)
+        vacf_ref = velocity_autocorrelation(velocity_ref, max_lag=8)
+        vacf_out = velocity_autocorrelation(velocity_out, max_lag=8)
+        assert np.allclose(vacf_out, vacf_ref, atol=0.05)

@@ -1,0 +1,57 @@
+"""Tests specific to the SZ2 baseline (Table IV behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.api import SessionMeta
+from repro.exceptions import DecompressionError
+from repro.sz.sz2 import SZ2Compressor
+
+
+class TestModes:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SZ2Compressor(mode="3d")
+
+    def test_mode_mismatch_detected(self, crystal_stream):
+        enc = SZ2Compressor(mode="1d")
+        enc.begin(0.01, SessionMeta(n_atoms=crystal_stream.shape[1]))
+        blob = enc.compress_batch(crystal_stream)
+        dec = SZ2Compressor(mode="2d")
+        dec.begin(0.01, SessionMeta(n_atoms=crystal_stream.shape[1]))
+        with pytest.raises(DecompressionError, match="mode"):
+            dec.decompress_batch(blob)
+
+    def test_2d_beats_1d_on_smooth_time(self, smooth_stream):
+        """Table IV: the 2D mode exploits the time dimension."""
+        sizes = {}
+        for mode in ("1d", "2d"):
+            comp = SZ2Compressor(mode=mode)
+            comp.begin(
+                1e-3 * (smooth_stream.max() - smooth_stream.min()),
+                SessionMeta(n_atoms=smooth_stream.shape[1]),
+            )
+            sizes[mode] = len(comp.compress_batch(smooth_stream))
+        assert sizes["2d"] < sizes["1d"]
+
+    @pytest.mark.parametrize("mode", ["1d", "2d"])
+    def test_round_trip_bound(self, mode, random_stream):
+        eb = 1e-3 * (random_stream.max() - random_stream.min())
+        enc = SZ2Compressor(mode=mode)
+        dec = SZ2Compressor(mode=mode)
+        meta = SessionMeta(n_atoms=random_stream.shape[1])
+        enc.begin(eb, meta)
+        dec.begin(eb, meta)
+        out = dec.decompress_batch(enc.compress_batch(random_stream))
+        assert np.max(np.abs(out - random_stream)) <= eb * (1 + 1e-9)
+
+    def test_single_snapshot_batch(self, crystal_stream):
+        eb = 0.01
+        enc = SZ2Compressor(mode="2d")
+        dec = SZ2Compressor(mode="2d")
+        meta = SessionMeta(n_atoms=crystal_stream.shape[1])
+        enc.begin(eb, meta)
+        dec.begin(eb, meta)
+        out = dec.decompress_batch(enc.compress_batch(crystal_stream[:1]))
+        assert out.shape == (1, crystal_stream.shape[1])
+        assert np.max(np.abs(out - crystal_stream[:1])) <= eb * (1 + 1e-9)
