@@ -1,0 +1,90 @@
+"""Figure 15 companion: streaming-pipeline throughput, serial vs parallel.
+
+The streaming subsystem's contract is that fanning per-(buffer, axis)
+compression jobs across a worker pool changes *nothing* about the output:
+the ``MDZ2`` container produced with ``workers=4`` is byte-identical to
+the serial one.  This benchmark verifies that on a Copper-like dataset
+and records the end-to-end throughput of both modes.  The speedup
+assertion only runs on hosts with enough cores — on a small CI box the
+pool's pickling overhead legitimately dominates — but byte identity is
+checked everywhere.
+"""
+
+import io
+import os
+import time
+
+import numpy as np
+
+from conftest import record, run_once
+from repro.core.config import MDZConfig
+from repro.datasets import load_dataset
+from repro.stream import StreamingReader, stream_compress
+
+EPSILON = 1e-3
+BS = 10
+SNAPSHOTS = 160
+WORKERS = 4
+
+
+def _run(positions: np.ndarray, workers: int):
+    sink = io.BytesIO()
+    t0 = time.perf_counter()
+    stats = stream_compress(
+        positions,
+        sink,
+        MDZConfig(error_bound=EPSILON, buffer_size=BS),
+        workers=workers,
+    )
+    elapsed = time.perf_counter() - t0
+    return sink.getvalue(), stats, elapsed
+
+
+def run_experiment():
+    positions = load_dataset("copper-b", snapshots=SNAPSHOTS).positions
+    positions = positions.astype(np.float64)
+    serial_blob, serial_stats, serial_s = _run(positions, workers=0)
+    parallel_blob, parallel_stats, parallel_s = _run(
+        positions, workers=WORKERS
+    )
+    return {
+        "positions": positions,
+        "serial": (serial_blob, serial_stats, serial_s),
+        "parallel": (parallel_blob, parallel_stats, parallel_s),
+    }
+
+
+def test_fig15_streaming(benchmark, results_dir):
+    out = run_once(benchmark, run_experiment)
+    positions = out["positions"]
+    serial_blob, serial_stats, serial_s = out["serial"]
+    parallel_blob, parallel_stats, parallel_s = out["parallel"]
+
+    # The whole point of the frozen-state job design: parallel execution
+    # is indistinguishable from serial at the byte level.
+    assert parallel_blob == serial_blob
+
+    mb = serial_stats.raw_bytes / 1e6
+    lines = [
+        "Figure 15 companion — streaming pipeline throughput (copper-b, "
+        f"{SNAPSHOTS} snapshots, BS={BS})",
+        f"{'mode':12s}{'MB/s':>8s}{'CR':>8s}{'bytes':>12s}",
+        f"{'serial':12s}{mb / serial_s:8.2f}"
+        f"{serial_stats.compression_ratio:8.2f}{len(serial_blob):12d}",
+        f"{f'{WORKERS} workers':12s}{mb / parallel_s:8.2f}"
+        f"{parallel_stats.compression_ratio:8.2f}{len(parallel_blob):12d}",
+        f"byte-identical: {parallel_blob == serial_blob}",
+    ]
+    record(results_dir, "fig15_streaming", "\n".join(lines))
+
+    # Round trip through the chunked container stays within the stored
+    # per-axis absolute bounds.
+    reader = StreamingReader(serial_blob)
+    restored = reader.read_all()
+    for a in range(3):
+        err = np.abs(restored[:, :, a] - positions[:, :, a]).max()
+        assert err <= reader.error_bounds[a] * (1 + 1e-9)
+
+    if (os.cpu_count() or 1) >= WORKERS:
+        # With real cores available the pool must pay for itself.
+        assert parallel_s < serial_s, (serial_s, parallel_s)

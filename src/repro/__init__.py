@@ -37,6 +37,15 @@ from .exceptions import (
     UnsupportedDatasetError,
 )
 from .io.batch import run_stream, stream_error_bound
+from .stream import (
+    ParallelExecutor,
+    StreamingReader,
+    StreamingWriter,
+    StreamStats,
+    stream_compress,
+    stream_compress_dump,
+    stream_decompress,
+)
 
 __version__ = "1.0.0"
 
@@ -49,13 +58,20 @@ __all__ = [
     "MDZ",
     "MDZAxisCompressor",
     "MDZConfig",
+    "ParallelExecutor",
     "ReproError",
     "SessionMeta",
     "SimulationError",
+    "StreamStats",
+    "StreamingReader",
+    "StreamingWriter",
     "UnsupportedDatasetError",
     "available_compressors",
     "create_compressor",
     "run_stream",
+    "stream_compress",
+    "stream_compress_dump",
+    "stream_decompress",
     "stream_error_bound",
     "__version__",
 ]

@@ -1,12 +1,19 @@
-"""Command-line interface: ``mdz`` compress/decompress/info/bench.
+"""Command-line interface: ``mdz`` compress/stream/decompress/info/bench.
 
 Usage (after ``python setup.py develop`` / ``pip install -e .``)::
 
     mdz compress  traj.npy traj.mdz --error-bound 1e-3 --buffer-size 10
     mdz compress  run.dump traj.mdz            # LAMMPS-style text dumps
+    mdz stream    run.dump traj.mdz --workers 4    # chunked MDZ2 pipeline
     mdz decompress traj.mdz restored.npy
     mdz info      traj.mdz
     mdz bench     traj.npy --compressors mdz,sz2,tng
+
+``compress`` loads the whole trajectory and writes a monolithic ``MDZ1``
+container; ``stream`` feeds snapshots one at a time through the streaming
+subsystem and writes a chunked, crash-recoverable ``MDZ2`` container,
+optionally fanning compression across ``--workers`` processes.
+``decompress``/``info`` accept both formats.
 
 Input trajectories are ``.npy`` arrays of shape (snapshots, atoms, 3) (or
 (snapshots, atoms)) or LAMMPS-style text dumps (``.dump``/``.lammpstrj``).
@@ -52,14 +59,7 @@ def _load_trajectory(path: Path) -> np.ndarray:
 
 def _cmd_compress(args: argparse.Namespace) -> int:
     data = _load_trajectory(Path(args.input))
-    config = MDZConfig(
-        error_bound=args.error_bound,
-        error_bound_mode=args.bound_mode,
-        buffer_size=args.buffer_size,
-        method=args.method,
-        sequence_mode=args.sequence,
-        quantization_scale=args.scale,
-    )
+    config = _config_from_args(args)
     t0 = time.perf_counter()
     blob = MDZ(config).compress(data)
     elapsed = time.perf_counter() - t0
@@ -72,6 +72,54 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     print(
         f"compressed {raw / 1e6:.2f} MB -> {len(blob) / 1e6:.3f} MB "
         f"(CR {raw / len(blob):.1f}x) in {elapsed:.2f}s"
+    )
+    return 0
+
+
+def _config_from_args(args: argparse.Namespace) -> MDZConfig:
+    return MDZConfig(
+        error_bound=args.error_bound,
+        error_bound_mode=args.bound_mode,
+        buffer_size=args.buffer_size,
+        method=args.method,
+        sequence_mode=args.sequence,
+        quantization_scale=args.scale,
+    )
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .stream import StreamingWriter
+
+    path = Path(args.input)
+    if path.suffix == ".npy":
+        snapshots = iter(np.load(path))
+    elif path.suffix in (".dump", ".lammpstrj", ".txt"):
+        from .io.dump import read_dump
+
+        snapshots = (frame.positions for frame in read_dump(path))
+    else:
+        raise ReproError(
+            f"unsupported trajectory format {path.suffix!r} "
+            "(expected .npy, .dump, or .lammpstrj)"
+        )
+    t0 = time.perf_counter()
+    with StreamingWriter(
+        args.output, _config_from_args(args), workers=args.workers
+    ) as writer:
+        for snapshot in snapshots:
+            writer.feed(snapshot)
+        stats = writer.close()
+    elapsed = time.perf_counter() - t0
+    mode = f"{args.workers} workers" if args.workers > 1 else "serial"
+    print(
+        f"{args.input}: streamed {stats.snapshots} snapshots "
+        f"({stats.buffers} buffers, {mode})"
+    )
+    print(
+        f"compressed {stats.raw_bytes / 1e6:.2f} MB -> "
+        f"{stats.bytes_written / 1e6:.3f} MB "
+        f"(CR {stats.compression_ratio:.1f}x) in {elapsed:.2f}s "
+        f"({stats.raw_bytes / 1e6 / max(elapsed, 1e-9):.1f} MB/s)"
     )
     return 0
 
@@ -110,10 +158,17 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    from .baselines.api import available_compressors
     from .io.batch import run_stream
 
     data = _load_trajectory(Path(args.input))
     names = [c.strip() for c in args.compressors.split(",") if c.strip()]
+    unknown = sorted(set(names) - set(available_compressors()))
+    if unknown:
+        raise ReproError(
+            f"unknown compressor(s): {', '.join(unknown)}; "
+            f"registered: {', '.join(available_compressors())}"
+        )
     print(
         f"{'compressor':12s} {'CR':>8s} {'comp MB/s':>10s} {'dec MB/s':>10s}"
     )
@@ -154,24 +209,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    comp = sub.add_parser("compress", help="compress a trajectory")
-    comp.add_argument("input", help=".npy or LAMMPS-style dump file")
-    comp.add_argument("output", help="output .mdz container")
-    comp.add_argument(
-        "--error-bound", type=float, default=1e-3, help="epsilon (default 1e-3)"
+    def add_compression_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("input", help=".npy or LAMMPS-style dump file")
+        p.add_argument("output", help="output .mdz container")
+        p.add_argument(
+            "--error-bound",
+            type=float,
+            default=1e-3,
+            help="epsilon (default 1e-3)",
+        )
+        p.add_argument(
+            "--bound-mode",
+            choices=("value_range", "absolute"),
+            default="value_range",
+        )
+        p.add_argument("--buffer-size", type=int, default=10)
+        p.add_argument(
+            "--method", choices=("adp", "vq", "vqt", "mt"), default="adp"
+        )
+        p.add_argument("--sequence", choices=("seq1", "seq2"), default="seq2")
+        p.add_argument("--scale", type=int, default=1024)
+
+    comp = sub.add_parser(
+        "compress", help="compress a trajectory (monolithic MDZ1)"
     )
-    comp.add_argument(
-        "--bound-mode",
-        choices=("value_range", "absolute"),
-        default="value_range",
-    )
-    comp.add_argument("--buffer-size", type=int, default=10)
-    comp.add_argument(
-        "--method", choices=("adp", "vq", "vqt", "mt"), default="adp"
-    )
-    comp.add_argument("--sequence", choices=("seq1", "seq2"), default="seq2")
-    comp.add_argument("--scale", type=int, default=1024)
+    add_compression_options(comp)
     comp.set_defaults(func=_cmd_compress)
+
+    stream = sub.add_parser(
+        "stream",
+        help="stream-compress a trajectory (chunked MDZ2, optional workers)",
+    )
+    add_compression_options(stream)
+    stream.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="compression worker processes (default: serial)",
+    )
+    stream.set_defaults(func=_cmd_stream)
 
     dec = sub.add_parser("decompress", help="decompress a container")
     dec.add_argument("input", help=".mdz container")

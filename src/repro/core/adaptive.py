@@ -50,6 +50,36 @@ class ADPSelector:
     buffers_seen: int = 0
     history: list[SelectionRecord] = field(default_factory=list)
 
+    def trial_due(self) -> bool:
+        """True when the next buffer must run a three-way trial.
+
+        Trials run at the session start, at every `interval`, and once at
+        buffer 1: the first buffer biases MT (its reference does not
+        exist yet, so it pays the Lorenzo bootstrap), and the follow-up
+        removes that bias as soon as the reference is in place.
+        """
+        return (
+            self.current is None
+            or self.buffers_seen == 1
+            or self.buffers_seen % self.interval == 0
+        )
+
+    def note_external(self) -> str:
+        """Account for a buffer encoded outside the selector.
+
+        The streaming executor dispatches non-trial buffers to worker
+        processes; the session-side selector still has to advance its
+        buffer counter so later trials fire on schedule.  Returns the
+        method the external encoder must use.
+        """
+        if self.trial_due():
+            raise RuntimeError(
+                "cannot encode a trial buffer externally: the selector "
+                "must run the three-way trial in-session"
+            )
+        self.buffers_seen += 1
+        return self.current
+
     def encode(
         self, batch: np.ndarray, state: MethodState
     ) -> tuple[str, bytes, np.ndarray]:
@@ -60,16 +90,7 @@ class ADPSelector:
         trial's payload is reused directly (its state inputs are
         value-identical to the session's).
         """
-        # Trials run at the session start, at every `interval`, and once at
-        # buffer 1: the first buffer biases MT (its reference does not
-        # exist yet, so it pays the Lorenzo bootstrap), and the follow-up
-        # removes that bias as soon as the reference is in place.
-        due = (
-            self.current is None
-            or self.buffers_seen == 1
-            or self.buffers_seen % self.interval == 0
-        )
-        if due:
+        if self.trial_due():
             results: dict[str, tuple[bytes, np.ndarray]] = {}
             for name, method in self.methods.items():
                 results[name] = method.encode(batch, state.clone_for_trial())

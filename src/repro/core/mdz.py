@@ -106,6 +106,48 @@ class MDZAxisCompressor(Compressor):
             )
         return self._state
 
+    # -- streaming/parallel support -------------------------------------
+    #
+    # After the first buffer an MDZ session is effectively frozen: the
+    # reference snapshot and the level model are fitted once and never
+    # change, and only ADP's buffer counter advances.  The streaming
+    # executor exploits that: it exports the frozen state, ships it to a
+    # worker process, and encodes later buffers out-of-session with
+    # byte-identical results.
+
+    def pending_method(self) -> str | None:
+        """The method the next buffer will be coded with, if it can be
+        encoded out-of-session; ``None`` when the buffer must run here
+        (first buffer of the session, or an ADP trial buffer)."""
+        state = self._require_state()
+        if state.reference is None:
+            return None
+        if self.config.method != "adp":
+            return self.config.method
+        if self._selector.trial_due():
+            return None
+        return self._selector.current
+
+    def export_session_seed(self):
+        """The frozen cross-buffer state: ``(reference, level_fit)``."""
+        state = self._require_state()
+        return state.reference, state.levels.fit
+
+    def seed_session(self, reference, level_fit) -> None:
+        """Adopt cross-buffer state exported from another session."""
+        state = self._require_state()
+        if reference is not None:
+            state.reference = np.asarray(reference, dtype=np.float64)
+        if level_fit is not None:
+            state.levels.seed(level_fit)
+
+    def note_external_buffer(self) -> None:
+        """Account for one buffer encoded out-of-session (keeps the ADP
+        trial schedule aligned with the true buffer count)."""
+        self._require_state()
+        if self.config.method == "adp":
+            self._selector.note_external()
+
 
 class MDZ:
     """Whole-trajectory MDZ compressor producing ``.mdz`` containers.

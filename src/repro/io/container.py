@@ -1,16 +1,28 @@
-"""The ``.mdz`` container format.
+"""The ``.mdz`` container formats.
 
-Layout (all little-endian, sections framed by :mod:`repro.serde`)::
+Two container generations share this read API:
 
-    magic   : 4 bytes  b"MDZ1"
-    header  : JSON     {snapshots, atoms, axes, dtype, buffer_size,
-                        error_bounds (per axis), scale, sequence, method}
-    index   : JSON     byte offsets of every (buffer, axis) payload within
-                        the payload area, buffer-major
-    payload : BYTES    concatenation of the per-buffer per-axis blobs
+* ``MDZ1`` — the original monolithic layout, written in one piece by
+  :func:`write_container`.  All little-endian, sections framed by
+  :mod:`repro.serde`::
 
-The index enables random access to any buffer; buffers coded by VQ are
-fully independent, while VQT/MT buffers additionally need the session
+      magic   : 4 bytes  b"MDZ1"
+      header  : JSON     {snapshots, atoms, axes, dtype, buffer_size,
+                          error_bounds (per axis), scale, sequence, method}
+      index   : JSON     byte offsets of every (buffer, axis) payload within
+                          the payload area, buffer-major
+      payload : BYTES    concatenation of the per-buffer per-axis blobs
+
+* ``MDZ2`` — the append-only chunked streaming layout produced by
+  :class:`repro.stream.writer.StreamingWriter` (see
+  :mod:`repro.stream.format`).
+
+:func:`read_container`, :func:`read_container_batch`, and
+:func:`read_container_info` sniff the magic and dispatch, so every
+consumer (CLI, benchmarks, analysis) handles both generations.
+
+The MDZ1 index enables random access to any buffer; buffers coded by VQ
+are fully independent, while VQT/MT buffers additionally need the session
 reference (rebuilt by decoding buffer 0 once).
 """
 
@@ -24,10 +36,38 @@ import numpy as np
 from ..baselines.api import SessionMeta
 from ..core.config import MDZConfig
 from ..core.mdz import MDZAxisCompressor
-from ..exceptions import CompressionError, ContainerFormatError
+from ..exceptions import (
+    CompressionError,
+    ContainerFormatError,
+    DecompressionError,
+)
 from ..serde import BlobReader, BlobWriter
 
 MAGIC = b"MDZ1"
+
+
+def container_version(blob: bytes) -> int:
+    """The format generation of a container blob: 1 or 2.
+
+    Raises :class:`ContainerFormatError` when the blob carries neither
+    magic.  ``MDZ2`` files lead with their raw magic; ``MDZ1`` blobs frame
+    it as the first :mod:`repro.serde` section.
+    """
+    from ..stream.format import is_stream_container
+
+    if is_stream_container(blob):
+        return 2
+    try:
+        magic = BlobReader(blob).read_bytes()
+    except DecompressionError as exc:
+        raise ContainerFormatError(
+            f"not an .mdz container: {exc}"
+        ) from exc
+    if magic != MAGIC:
+        raise ContainerFormatError(
+            f"bad container magic {magic!r}; expected {MAGIC!r} or MDZ2"
+        )
+    return 1
 
 
 def _axis_bounds(positions: np.ndarray, config: MDZConfig) -> list[float]:
@@ -107,14 +147,23 @@ def write_container(positions: np.ndarray, config: MDZConfig) -> bytes:
 
 def _open_container(blob: bytes):
     reader = BlobReader(blob)
-    magic = reader.read_bytes()
-    if magic != MAGIC:
+    try:
+        magic = reader.read_bytes()
+        if magic != MAGIC:
+            raise ContainerFormatError(
+                f"bad container magic {magic!r}; expected {MAGIC!r} or MDZ2"
+            )
+        header = reader.read_json()
+        index = reader.read_json()
+        payload = reader.read_bytes()
+    except ContainerFormatError:
+        raise
+    except DecompressionError as exc:
+        # Framing-level failures (short frames, wrong tags) mean the file
+        # itself is damaged, not one compressed payload inside it.
         raise ContainerFormatError(
-            f"bad container magic {magic!r}; expected {MAGIC!r}"
-        )
-    header = reader.read_json()
-    index = reader.read_json()
-    payload = reader.read_bytes()
+            f"truncated or malformed container: {exc}"
+        ) from exc
     if int(index["total"]) != len(payload):
         raise ContainerFormatError(
             f"payload length {len(payload)} does not match index total "
@@ -149,7 +198,11 @@ def _blob_at(payload: bytes, offsets: list[int], i: int) -> bytes:
 
 
 def read_container(blob: bytes) -> np.ndarray:
-    """Decompress a full container to a float64 (T, N, axes) array."""
+    """Decompress a full container (``MDZ1`` or ``MDZ2``) to float64."""
+    if container_version(blob) == 2:
+        from ..stream.reader import StreamingReader
+
+        return StreamingReader(blob).read_all()
     header, index, payload = _open_container(blob)
     t_count = int(header["snapshots"])
     n_atoms = int(header["atoms"])
@@ -195,6 +248,10 @@ def read_container_info(blob: bytes) -> ContainerInfo:
     from ..core.methods import METHOD_NAMES
     from ..sz.lossless import lossless_decompress
 
+    if container_version(blob) == 2:
+        from ..stream.reader import StreamingReader
+
+        return StreamingReader(blob).container_info()
     header, index, payload = _open_container(blob)
     n_axes = int(header["axes"])
     offsets = [int(o) for o in index["offsets"]]
@@ -227,6 +284,10 @@ def read_container_batch(blob: bytes, batch_index: int) -> np.ndarray:
     Buffer 0 is decoded first when needed to rebuild the MT/VQT session
     reference; VQ-coded containers decode the target buffer directly.
     """
+    if container_version(blob) == 2:
+        from ..stream.reader import StreamingReader
+
+        return StreamingReader(blob).read_buffer(batch_index)
     header, index, payload = _open_container(blob)
     t_count = int(header["snapshots"])
     n_atoms = int(header["atoms"])

@@ -7,9 +7,12 @@ MD engine and dumps coordinates every ``dump_every`` steps through a
 
 * without MDZ the sink serializes raw float32 coordinates and charges the
   modelled parallel-file-system write time;
-* with MDZ the sink buffers ``buffer_size`` snapshots per axis, compresses
-  them in situ with :class:`~repro.core.mdz.MDZAxisCompressor`, and charges
-  the (much smaller) compressed write.
+* with MDZ the sink feeds snapshots to a
+  :class:`~repro.stream.writer.StreamingWriter` — the real in-situ
+  pipeline, producing a chunked ``MDZ2`` container — and charges the
+  (much smaller) compressed writes as chunks reach the file.  Setting
+  ``workers > 1`` fans the per-(buffer, axis) compression jobs across the
+  streaming subsystem's process pool.
 
 Compression time is *real* measured time; only the PFS write is modelled
 (bytes / bandwidth), because this reproduction has no parallel file system
@@ -20,16 +23,17 @@ from the same trade-off.
 
 from __future__ import annotations
 
-import time
+import io
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import BinaryIO
 
 import numpy as np
 
-from ..baselines.api import SessionMeta
 from ..core.config import MDZConfig
-from ..core.mdz import MDZAxisCompressor
 from ..md.lattice import fcc_lattice
 from ..md.simulation import MDSimulation, SimulationReport
+from ..stream.writer import StreamingWriter
 
 #: Modelled per-node parallel-file-system write bandwidth (bytes/s).
 #:
@@ -49,29 +53,37 @@ LJ_TEMPERATURE = 1.44
 
 @dataclass
 class DumpSink:
-    """Dump consumer: raw writes or in-situ MDZ compression.
+    """Dump consumer: raw writes or the in-situ streaming pipeline.
 
     Parameters
     ----------
     use_mdz:
-        Pipe snapshots through MDZ before the (modelled) PFS write.
+        Pipe snapshots through the MDZ streaming writer before the
+        (modelled) PFS write.
     buffer_size:
         Snapshots buffered per compression call (the paper's BS).
     epsilon:
-        Value-range-relative error bound for the MDZ path.
+        Value-range-relative error bound for the MDZ path (resolved
+        against the first buffer of each axis).
     pfs_bandwidth:
         Modelled write bandwidth in bytes/s.
+    workers:
+        Worker processes for the streaming compression pool (0 = serial).
+    output:
+        Destination for the ``MDZ2`` container; defaults to an in-memory
+        sink, pass a path to keep the compressed trajectory.
     """
 
     use_mdz: bool
     buffer_size: int = 10
     epsilon: float = 1e-3
     pfs_bandwidth: float = PFS_BANDWIDTH
+    workers: int = 0
+    output: str | Path | BinaryIO | None = None
     raw_bytes: int = 0
     written_bytes: int = 0
     compress_seconds: float = 0.0
-    _buffer: list[np.ndarray] = field(default_factory=list)
-    _sessions: list[MDZAxisCompressor] | None = None
+    _writer: StreamingWriter | None = field(default=None, repr=False)
 
     def consume(self, step: int, positions: np.ndarray) -> float:
         """Dump one snapshot; returns modelled write seconds to charge."""
@@ -80,45 +92,40 @@ class DumpSink:
         if not self.use_mdz:
             self.written_bytes += snapshot.nbytes
             return snapshot.nbytes / self.pfs_bandwidth
-        self._buffer.append(snapshot)
-        if len(self._buffer) < self.buffer_size:
-            return 0.0
-        return self._flush()
+        if self._writer is None:
+            self._writer = StreamingWriter(
+                self.output if self.output is not None else io.BytesIO(),
+                MDZConfig(
+                    error_bound=self.epsilon,
+                    buffer_size=self.buffer_size,
+                    method="adp",
+                ),
+                workers=self.workers,
+            )
+        before = self._writer.stats.bytes_written
+        self._writer.feed(snapshot.astype(np.float64))
+        return self._charge(before)
 
     def finish(self) -> float:
-        """Flush any buffered snapshots; returns modelled write seconds."""
-        if self.use_mdz and self._buffer:
-            return self._flush()
-        return 0.0
+        """Seal the container; returns modelled write seconds to charge."""
+        if not (self.use_mdz and self._writer is not None):
+            return 0.0
+        before = self._writer.stats.bytes_written
+        self._writer.close()
+        return self._charge(before)
 
     @property
     def compression_ratio(self) -> float:
         """Achieved raw/written ratio (1.0 for the raw path)."""
         return self.raw_bytes / max(self.written_bytes, 1)
 
-    def _flush(self) -> float:
-        batch = np.stack(self._buffer)  # (B, N, 3)
-        self._buffer.clear()
-        t0 = time.perf_counter()
-        if self._sessions is None:
-            self._sessions = []
-            for a in range(3):
-                axis = batch[:, :, a].astype(np.float64)
-                bound = self.epsilon * float(axis.max() - axis.min())
-                session = MDZAxisCompressor(MDZConfig(method="adp"))
-                session.begin(
-                    max(bound, 1e-12), SessionMeta(n_atoms=batch.shape[1])
-                )
-                self._sessions.append(session)
-        compressed = 0
-        for a in range(3):
-            blob = self._sessions[a].compress_batch(
-                batch[:, :, a].astype(np.float64)
-            )
-            compressed += len(blob)
-        self.compress_seconds += time.perf_counter() - t0
-        self.written_bytes += compressed
-        return compressed / self.pfs_bandwidth
+    def _charge(self, before: int) -> float:
+        """Account for container bytes that just reached the file."""
+        stats = self._writer.stats
+        self.compress_seconds = stats.compress_seconds
+        delta = stats.bytes_written - before
+        self.written_bytes += delta
+        return delta / self.pfs_bandwidth
 
 
 @dataclass

@@ -1,0 +1,46 @@
+"""Streaming compression subsystem: the chunked ``MDZ2`` container, a
+parallel compression executor, and the in-situ pipeline.
+
+The monolithic front end (:class:`repro.core.mdz.MDZ` +
+:mod:`repro.io.container`) needs the whole trajectory in memory and
+produces one ``MDZ1`` blob.  This package replaces that execution model
+for production use:
+
+* :mod:`repro.stream.format` — the append-only ``MDZ2`` frame layout
+  (CRC-checked self-delimiting chunks, footer index, crash recovery);
+* :mod:`repro.stream.writer` — :class:`StreamingWriter`, a
+  ``feed(snapshot)`` front end with incremental per-buffer flushing;
+* :mod:`repro.stream.reader` — :class:`StreamingReader`, random-access
+  and sequential decoding, with opt-in recovery of truncated files;
+* :mod:`repro.stream.executor` — :class:`ParallelExecutor`, a
+  ``multiprocessing`` pool with bounded backpressure and ordered
+  reassembly whose output is byte-identical to serial execution;
+* :mod:`repro.stream.pipeline` — one-call helpers tying it together.
+"""
+
+from .executor import AxisJobSpec, ParallelExecutor, encode_axis_buffer
+from .format import (
+    ChunkEntry,
+    StreamLayout,
+    is_stream_container,
+    parse_stream,
+)
+from .pipeline import stream_compress, stream_compress_dump, stream_decompress
+from .reader import StreamingReader
+from .writer import StreamingWriter, StreamStats
+
+__all__ = [
+    "AxisJobSpec",
+    "ChunkEntry",
+    "ParallelExecutor",
+    "StreamLayout",
+    "StreamingReader",
+    "StreamingWriter",
+    "StreamStats",
+    "encode_axis_buffer",
+    "is_stream_container",
+    "parse_stream",
+    "stream_compress",
+    "stream_compress_dump",
+    "stream_decompress",
+]

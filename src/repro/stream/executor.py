@@ -1,0 +1,268 @@
+"""Parallel compression executor: a worker pool with ordered reassembly.
+
+The streaming writer produces one compression job per (buffer, axis).
+After a session's first buffer, MDZ's cross-buffer state is frozen (the
+level model and MT reference are fitted once; only ADP's trial counter
+advances), so non-trial buffers can be encoded *out of session* by a
+worker process given a small state snapshot (:class:`AxisJobSpec`) — with
+byte-identical output.  :class:`ParallelExecutor` fans those jobs across a
+``multiprocessing`` pool while preserving three invariants:
+
+* **ordering** — results come back strictly in submission order, so the
+  writer can append chunk frames as they complete;
+* **backpressure** — at most ``max_pending`` jobs are in flight; a full
+  queue blocks the producer (the MD loop) instead of buffering an
+  unbounded trajectory in memory;
+* **graceful degradation** — ``workers <= 1``, a pool that fails to
+  start, or a pool that dies mid-stream all fall back to inline serial
+  execution of the same job functions, which keeps the output bytes
+  unchanged.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.api import SessionMeta
+from ..cluster.level_detect import LevelFit
+from ..core.config import MDZConfig
+from ..core.mdz import MDZAxisCompressor
+
+_DONE = 0  # queue entry already holds its result
+_JOB = 1  # queue entry is an outstanding pool job
+
+
+@dataclass(frozen=True)
+class AxisJobSpec:
+    """Everything a worker needs to encode one buffer of one axis.
+
+    The spec is the frozen session state exported by
+    :meth:`~repro.core.mdz.MDZAxisCompressor.export_session_seed` plus the
+    session configuration.  ``reference`` is shipped only for MT (the one
+    method that reads it), keeping per-job pickling cost low for VQ/VQT.
+    """
+
+    method: str
+    error_bound: float
+    n_atoms: int
+    quantization_scale: int
+    sequence_mode: str
+    lossless_backend: str
+    level_seed: int
+    reference: np.ndarray | None
+    level_fit: LevelFit | None
+
+
+def encode_axis_buffer(spec: AxisJobSpec, batch: np.ndarray) -> bytes:
+    """Encode one (B, N) buffer from a frozen state snapshot.
+
+    Runs in worker processes (and inline in serial mode).  Rebuilds a
+    fixed-method session, seeds the exported state, and reuses the exact
+    serial encode path — which is what makes parallel output byte-identical
+    to serial output.
+    """
+    config = MDZConfig(
+        error_bound=spec.error_bound,
+        error_bound_mode="absolute",
+        quantization_scale=spec.quantization_scale,
+        sequence_mode=spec.sequence_mode,
+        method=spec.method,
+        lossless_backend=spec.lossless_backend,
+        level_seed=spec.level_seed,
+    )
+    session = MDZAxisCompressor(config)
+    session.begin(spec.error_bound, SessionMeta(n_atoms=spec.n_atoms))
+    session.seed_session(spec.reference, spec.level_fit)
+    return session.compress_batch(batch)
+
+
+class ParallelExecutor:
+    """FIFO job executor over an optional ``multiprocessing`` pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count.  ``<= 1`` selects inline serial execution
+        (no pool, no pickling).
+    max_pending:
+        Bound on in-flight pool jobs (backpressure).  Defaults to
+        ``4 * workers``.
+
+    Usage::
+
+        ex = ParallelExecutor(workers=4)
+        ex.submit(fn, arg)            # may block when the queue is full
+        ex.push(value)                # inject an already-computed result
+        for result in ex.ready():     # completed results, in order
+            ...
+        for result in ex.drain():     # block for everything else
+            ...
+        ex.close()
+    """
+
+    def __init__(self, workers: int = 0, max_pending: int | None = None):
+        self.workers = int(workers)
+        self._serial = self.workers <= 1
+        self.max_pending = (
+            int(max_pending) if max_pending else 4 * max(self.workers, 1)
+        )
+        self._pool = None
+        self._broken = False
+        # FIFO of [kind, value_or_handle, fn, args]; popped only from the
+        # left, which is what guarantees ordered reassembly.
+        self._queue: deque[list] = deque()
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def parallel(self) -> bool:
+        """True while jobs are actually dispatched to a live pool."""
+        return not (self._serial or self._broken)
+
+    def _ensure_pool(self) -> None:
+        if self._pool is None and self.parallel:
+            try:
+                self._pool = multiprocessing.get_context().Pool(
+                    processes=self.workers
+                )
+            except Exception:
+                self._abandon_pool()
+
+    def _abandon_pool(self) -> None:
+        """Mark the pool dead and re-run every outstanding job inline.
+
+        Handles of a terminated pool never complete, so leaving ``_JOB``
+        entries in the queue would hang the next ``drain()``.  The jobs
+        are deterministic, so recomputing them preserves the output.
+        """
+        self._broken = True
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.terminate()
+                pool.join()
+            except Exception:
+                pass
+        for entry in self._queue:
+            if entry[0] == _JOB:
+                entry[1] = entry[2](*entry[3])
+                entry[0] = _DONE
+                entry[2] = entry[3] = None
+
+    def close(self) -> None:
+        """Shut the pool down (pending jobs must be drained first)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+            pool.join()
+
+    def terminate(self) -> None:
+        """Abandon everything immediately (crash/abort path)."""
+        self._queue.clear()
+        self._abandon_pool()
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.terminate()
+
+    # -- submission -----------------------------------------------------
+
+    def push(self, value) -> None:
+        """Enqueue an already-computed result, preserving FIFO order.
+
+        The writer uses this for buffers that must be encoded in-session
+        (first buffer, ADP trials) so their chunks interleave correctly
+        with pool-encoded ones.
+        """
+        self._queue.append([_DONE, value, None, None])
+
+    def submit(self, fn, *args) -> None:
+        """Enqueue ``fn(*args)``; blocks while ``max_pending`` jobs are
+        in flight.  ``fn`` must be a picklable module-level function."""
+        if not self.parallel:
+            self._queue.append([_DONE, fn(*args), None, None])
+            return
+        self._ensure_pool()
+        if not self.parallel:
+            self._queue.append([_DONE, fn(*args), None, None])
+            return
+        while self._inflight() >= self.max_pending:
+            self._resolve_oldest_job()
+        try:
+            handle = self._pool.apply_async(fn, args)
+        except Exception:
+            # Pool died between jobs: degrade to inline execution.
+            self._abandon_pool()
+            self._queue.append([_DONE, fn(*args), None, None])
+            return
+        self._queue.append([_JOB, handle, fn, args])
+
+    # -- collection -----------------------------------------------------
+
+    def ready(self) -> list:
+        """Completed results available right now, in submission order.
+
+        Never blocks: stops at the first entry whose job is still running.
+        """
+        out = []
+        while self._queue:
+            entry = self._queue[0]
+            if entry[0] == _JOB:
+                if not entry[1].ready():
+                    break
+                self._resolve(entry)
+            out.append(self._queue.popleft()[1])
+        return out
+
+    def drain(self) -> list:
+        """Every outstanding result, in order; blocks until all complete."""
+        out = []
+        while self._queue:
+            entry = self._queue[0]
+            if entry[0] == _JOB:
+                self._resolve(entry)
+            out.append(self._queue.popleft()[1])
+        return out
+
+    # -- internals ------------------------------------------------------
+
+    def _inflight(self) -> int:
+        return sum(1 for entry in self._queue if entry[0] == _JOB)
+
+    def _resolve_oldest_job(self) -> None:
+        for entry in self._queue:
+            if entry[0] == _JOB:
+                self._resolve(entry)
+                return
+
+    #: Upper bound on one pool job (a lost task — e.g. a worker killed by
+    #: the OS — would otherwise block ``get()`` forever).
+    JOB_TIMEOUT = 600.0
+
+    def _resolve(self, entry: list) -> None:
+        """Wait for one pool job; on pool failure re-run it inline."""
+        try:
+            value = entry[1].get(timeout=self.JOB_TIMEOUT)
+        except Exception:
+            # Either the pool died or the job itself raised.  Re-running
+            # inline distinguishes the two: a genuine job error surfaces
+            # to the caller, a dead pool is survived transparently.  The
+            # abandon sweep resolves this entry along with the rest.
+            self._abandon_pool()
+            if entry[0] == _JOB:  # pragma: no cover - defensive
+                entry[1] = entry[2](*entry[3])
+                entry[0] = _DONE
+                entry[2] = entry[3] = None
+            return
+        entry[0] = _DONE
+        entry[1] = value
+        entry[2] = entry[3] = None

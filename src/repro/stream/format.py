@@ -1,0 +1,292 @@
+"""The ``MDZ2`` append-only chunked container format.
+
+Unlike the monolithic ``MDZ1`` layout (header + index + one payload area,
+assembled in memory), ``MDZ2`` is written incrementally and is safe against
+a writer that dies mid-stream.  Layout (all integers little-endian)::
+
+    magic    : 4 bytes  b"MDZ2"
+    header   : b"HDR2" | u32 len | JSON | u32 crc32(JSON)
+    chunk*   : b"CHNK" | u32 buffer | u32 axis | u32 rows
+               | u64 len | u32 crc32(payload) | payload
+    footer   : b"FTRX" | u32 len | JSON index | u32 crc32(JSON)
+    trailer  : u64 footer_offset | b"2ZDM"
+
+Every chunk frame is *self-delimiting* and carries its own CRC, so a file
+whose footer was never written (crashed writer, torn copy) can be
+recovered by a linear scan: every fully written chunk is still decodable,
+and the scan stops at the first truncated or corrupted frame.  The footer
+(written at close) is an index of all chunk frames plus the final snapshot
+count, giving O(1) open and random access on intact files.
+
+A chunk's payload is exactly one :class:`~repro.core.mdz.MDZAxisCompressor`
+batch blob — the same bytes the ``MDZ1`` payload area concatenates — for
+buffer ``buffer`` of axis ``axis`` covering ``rows`` snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import BinaryIO
+
+from ..exceptions import ContainerFormatError
+
+#: File magic of the streaming container.
+STREAM_MAGIC = b"MDZ2"
+#: Frame markers.
+HEADER_MAGIC = b"HDR2"
+CHUNK_MAGIC = b"CHNK"
+FOOTER_MAGIC = b"FTRX"
+#: End-of-file marker (magic reversed) preceded by the footer offset.
+END_MAGIC = b"2ZDM"
+
+_SECTION_HEAD = struct.Struct("<4sI")  # marker, body length
+_CHUNK_HEAD = struct.Struct("<4sIIIQI")  # marker, buffer, axis, rows, len, crc
+_TRAILER = struct.Struct("<Q4s")  # footer offset, end magic
+_U32 = struct.Struct("<I")
+
+
+@dataclass(frozen=True)
+class ChunkEntry:
+    """Location and identity of one chunk frame inside a stream."""
+
+    buffer_index: int
+    axis: int
+    rows: int
+    offset: int  # absolute offset of the payload bytes
+    length: int
+    crc32: int
+
+    def to_row(self) -> list[int]:
+        """Compact JSON representation used by the footer index."""
+        return [
+            self.buffer_index,
+            self.axis,
+            self.rows,
+            self.offset,
+            self.length,
+            self.crc32,
+        ]
+
+    @classmethod
+    def from_row(cls, row: list) -> "ChunkEntry":
+        return cls(*(int(v) for v in row))
+
+
+@dataclass
+class StreamLayout:
+    """Parsed structure of an ``MDZ2`` stream (no payload decoding)."""
+
+    header: dict
+    chunks: list[ChunkEntry]
+    snapshots: int
+    #: True when the footer was present and intact; False for a layout
+    #: rebuilt by the recovery scan.
+    complete: bool
+
+
+def is_stream_container(blob: bytes) -> bool:
+    """True when ``blob`` starts with the ``MDZ2`` magic."""
+    return blob[:4] == STREAM_MAGIC
+
+
+# -- writing ------------------------------------------------------------
+
+
+def write_magic(fh: BinaryIO) -> int:
+    fh.write(STREAM_MAGIC)
+    return len(STREAM_MAGIC)
+
+
+def _write_json_section(fh: BinaryIO, marker: bytes, obj: dict) -> int:
+    body = json.dumps(obj, separators=(",", ":"), sort_keys=True).encode()
+    fh.write(_SECTION_HEAD.pack(marker, len(body)))
+    fh.write(body)
+    fh.write(_U32.pack(zlib.crc32(body) & 0xFFFFFFFF))
+    return _SECTION_HEAD.size + len(body) + _U32.size
+
+
+def write_header(fh: BinaryIO, header: dict) -> int:
+    """Write the stream header frame; returns bytes written."""
+    return _write_json_section(fh, HEADER_MAGIC, header)
+
+
+def write_chunk(
+    fh: BinaryIO,
+    buffer_index: int,
+    axis: int,
+    rows: int,
+    payload: bytes,
+    offset: int,
+) -> tuple[ChunkEntry, int]:
+    """Append one chunk frame at absolute position ``offset``.
+
+    Returns the index entry and the number of bytes written.
+    """
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    fh.write(
+        _CHUNK_HEAD.pack(
+            CHUNK_MAGIC, buffer_index, axis, rows, len(payload), crc
+        )
+    )
+    fh.write(payload)
+    entry = ChunkEntry(
+        buffer_index=buffer_index,
+        axis=axis,
+        rows=rows,
+        offset=offset + _CHUNK_HEAD.size,
+        length=len(payload),
+        crc32=crc,
+    )
+    return entry, _CHUNK_HEAD.size + len(payload)
+
+
+def write_footer(
+    fh: BinaryIO,
+    chunks: list[ChunkEntry],
+    snapshots: int,
+    footer_offset: int,
+) -> int:
+    """Write the footer index and the end trailer; returns bytes written."""
+    body = {
+        "snapshots": snapshots,
+        "chunks": [entry.to_row() for entry in chunks],
+    }
+    written = _write_json_section(fh, FOOTER_MAGIC, body)
+    fh.write(_TRAILER.pack(footer_offset, END_MAGIC))
+    return written + _TRAILER.size
+
+
+# -- parsing ------------------------------------------------------------
+
+
+def _read_json_section(
+    blob: bytes, offset: int, marker: bytes, what: str
+) -> tuple[dict, int]:
+    """Parse one JSON frame; returns (object, offset past the frame)."""
+    end = offset + _SECTION_HEAD.size
+    if end > len(blob):
+        raise ContainerFormatError(f"truncated container: missing {what}")
+    found, length = _SECTION_HEAD.unpack_from(blob, offset)
+    if found != marker:
+        raise ContainerFormatError(
+            f"bad {what} marker {found!r}; expected {marker!r}"
+        )
+    body_end = end + length
+    if body_end + _U32.size > len(blob):
+        raise ContainerFormatError(f"truncated container: short {what}")
+    body = blob[end:body_end]
+    (stored_crc,) = _U32.unpack_from(blob, body_end)
+    if zlib.crc32(body) & 0xFFFFFFFF != stored_crc:
+        raise ContainerFormatError(f"{what} checksum mismatch")
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except ValueError as exc:
+        raise ContainerFormatError(f"corrupt {what} JSON: {exc}") from exc
+    return obj, body_end + _U32.size
+
+
+def _parse_footer(blob: bytes, body_start: int) -> StreamLayout | None:
+    """Parse header + footer of an intact file; None if the footer is bad."""
+    try:
+        tail = blob[-_TRAILER.size :]
+        footer_offset, end_magic = _TRAILER.unpack(tail)
+        if end_magic != END_MAGIC:
+            return None
+        if not body_start <= footer_offset < len(blob):
+            return None
+        footer, after = _read_json_section(
+            blob, footer_offset, FOOTER_MAGIC, "footer"
+        )
+    except (ContainerFormatError, struct.error):
+        return None
+    return StreamLayout(
+        header={},
+        chunks=[ChunkEntry.from_row(row) for row in footer["chunks"]],
+        snapshots=int(footer["snapshots"]),
+        complete=True,
+    )
+
+
+def _scan_chunks(blob: bytes, offset: int) -> list[ChunkEntry]:
+    """Linear recovery scan: every intact chunk frame, in file order.
+
+    Stops at the first frame that is truncated, fails its CRC, or does not
+    carry the chunk marker (a torn footer counts as end-of-stream).
+    """
+    chunks: list[ChunkEntry] = []
+    pos = offset
+    size = len(blob)
+    while pos + _CHUNK_HEAD.size <= size:
+        marker, buffer_index, axis, rows, length, crc = _CHUNK_HEAD.unpack_from(
+            blob, pos
+        )
+        if marker != CHUNK_MAGIC:
+            break
+        payload_start = pos + _CHUNK_HEAD.size
+        payload_end = payload_start + length
+        if payload_end > size:
+            break  # torn tail: the frame was never fully written
+        if zlib.crc32(blob[payload_start:payload_end]) & 0xFFFFFFFF != crc:
+            break  # corrupted frame: nothing after it can be trusted
+        chunks.append(
+            ChunkEntry(
+                buffer_index=buffer_index,
+                axis=axis,
+                rows=rows,
+                offset=payload_start,
+                length=length,
+                crc32=crc,
+            )
+        )
+        pos = payload_end
+    return chunks
+
+
+def parse_stream(blob: bytes, recover: bool = False) -> StreamLayout:
+    """Parse an ``MDZ2`` stream into its layout.
+
+    With ``recover=False`` (the default) a stream without an intact footer
+    raises :class:`ContainerFormatError` — a safety net against silently
+    reading a truncated copy.  With ``recover=True`` the chunk frames are
+    re-indexed by a linear scan and every fully written chunk survives.
+    """
+    if not is_stream_container(blob):
+        raise ContainerFormatError(
+            f"bad container magic {blob[:4]!r}; expected {STREAM_MAGIC!r}"
+        )
+    header, body_start = _read_json_section(
+        blob, len(STREAM_MAGIC), HEADER_MAGIC, "header"
+    )
+    layout = _parse_footer(blob, body_start)
+    if layout is not None:
+        layout.header = header
+        return layout
+    if not recover:
+        raise ContainerFormatError(
+            "stream has no intact footer (truncated or crashed writer); "
+            "open with recover=True to index the surviving chunks"
+        )
+    chunks = _scan_chunks(blob, body_start)
+    snapshots = sum(c.rows for c in chunks if c.axis == 0)
+    return StreamLayout(
+        header=header, chunks=chunks, snapshots=snapshots, complete=False
+    )
+
+
+def chunk_payload(blob: bytes, entry: ChunkEntry) -> bytes:
+    """Extract and CRC-verify one chunk's payload bytes."""
+    payload = blob[entry.offset : entry.offset + entry.length]
+    if len(payload) != entry.length:
+        raise ContainerFormatError(
+            f"chunk (buffer {entry.buffer_index}, axis {entry.axis}) "
+            "extends past the end of the container"
+        )
+    if zlib.crc32(payload) & 0xFFFFFFFF != entry.crc32:
+        raise ContainerFormatError(
+            f"chunk (buffer {entry.buffer_index}, axis {entry.axis}) "
+            "checksum mismatch: the container is corrupted"
+        )
+    return payload

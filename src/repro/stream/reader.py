@@ -1,0 +1,202 @@
+"""Reader for ``MDZ2`` streaming containers.
+
+Supports three access patterns:
+
+* :meth:`StreamingReader.read_all` — sequential full decode, sessions
+  carried across buffers exactly like the writer's;
+* :meth:`StreamingReader.read_buffer` — random access to one buffer; VQ
+  streams decode it directly, other methods first decode buffer 0 to
+  restore the session reference (same contract as ``MDZ1`` batch reads);
+* :meth:`StreamingReader.iter_buffers` — incremental consumption with
+  bounded memory (the analysis-side half of the in-situ pipeline).
+
+Opened with ``recover=True``, a footer-less file (crashed writer,
+truncated copy) is re-indexed by a linear scan and every *complete*
+buffer — all axes present and CRC-intact — is readable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from ..baselines.api import SessionMeta
+from ..core.config import MDZConfig
+from ..core.mdz import MDZAxisCompressor
+from ..exceptions import ContainerFormatError
+from . import format as fmt
+
+
+class StreamingReader:
+    """Random-access and sequential decoder for one ``MDZ2`` stream.
+
+    Parameters
+    ----------
+    source:
+        Container bytes, or a path to read them from.
+    recover:
+        Accept files without an intact footer by scanning for surviving
+        chunk frames.  Off by default so silent truncation is an error.
+    """
+
+    def __init__(
+        self, source: bytes | str | Path, recover: bool = False
+    ) -> None:
+        if isinstance(source, (str, Path)):
+            self._blob = Path(source).read_bytes()
+        else:
+            self._blob = bytes(source)
+        self._layout = fmt.parse_stream(self._blob, recover=recover)
+        header = self._layout.header
+        try:
+            self.atoms = int(header["atoms"])
+            self.axes = int(header["axes"])
+            self.buffer_size = int(header["buffer_size"])
+            self.error_bounds = tuple(
+                float(b) for b in header["error_bounds"]
+            )
+            self.method = str(header["method"])
+            self.sequence = str(header["sequence"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ContainerFormatError(
+                f"stream header is missing required fields: {exc}"
+            ) from exc
+        self._chunk_map: dict[tuple[int, int], fmt.ChunkEntry] = {}
+        for entry in self._layout.chunks:
+            self._chunk_map[(entry.buffer_index, entry.axis)] = entry
+        self._n_complete = self._count_complete_buffers()
+
+    # -- structure ------------------------------------------------------
+
+    @property
+    def recovered(self) -> bool:
+        """True when the index was rebuilt by the recovery scan."""
+        return not self._layout.complete
+
+    @property
+    def chunks(self) -> list[fmt.ChunkEntry]:
+        """Index entries of every readable chunk, in file order."""
+        return list(self._layout.chunks)
+
+    @property
+    def n_buffers(self) -> int:
+        """Number of *complete* buffers (every axis chunk present)."""
+        return self._n_complete
+
+    @property
+    def snapshots(self) -> int:
+        """Snapshots covered by the complete buffers."""
+        return sum(
+            self._chunk_map[(b, 0)].rows for b in range(self._n_complete)
+        )
+
+    def _count_complete_buffers(self) -> int:
+        count = 0
+        while all(
+            (count, a) in self._chunk_map for a in range(self.axes)
+        ):
+            count += 1
+        return count
+
+    # -- decoding -------------------------------------------------------
+
+    def _sessions(self) -> list[MDZAxisCompressor]:
+        config = MDZConfig(
+            error_bound=1.0,  # absolute per-axis bounds travel in begin()
+            error_bound_mode="absolute",
+            buffer_size=self.buffer_size,
+            quantization_scale=int(self._layout.header["scale"]),
+            sequence_mode=self.sequence,
+            method=self.method,
+            lossless_backend=str(self._layout.header["lossless"]),
+        )
+        sessions = []
+        for bound in self.error_bounds:
+            session = MDZAxisCompressor(config)
+            session.begin(bound, SessionMeta(n_atoms=self.atoms))
+            sessions.append(session)
+        return sessions
+
+    def _payload(self, buffer_index: int, axis: int) -> bytes:
+        entry = self._chunk_map.get((buffer_index, axis))
+        if entry is None:
+            raise ContainerFormatError(
+                f"chunk (buffer {buffer_index}, axis {axis}) is missing "
+                "from the stream"
+            )
+        return fmt.chunk_payload(self._blob, entry)
+
+    def read_buffer(self, buffer_index: int) -> np.ndarray:
+        """Decode one complete buffer to a ``(rows, atoms, axes)`` array.
+
+        VQ streams decode the target buffer directly; for the stateful
+        methods buffer 0 is decoded first to restore the reference.
+        """
+        if not 0 <= buffer_index < self._n_complete:
+            raise ContainerFormatError(
+                f"buffer {buffer_index} out of range (stream has "
+                f"{self._n_complete} complete buffers)"
+            )
+        sessions = self._sessions()
+        rows = self._chunk_map[(buffer_index, 0)].rows
+        out = np.empty((rows, self.atoms, self.axes), dtype=np.float64)
+        for a in range(self.axes):
+            if buffer_index > 0 and self.method != "vq":
+                sessions[a].decompress_batch(self._payload(0, a))
+            out[:, :, a] = sessions[a].decompress_batch(
+                self._payload(buffer_index, a)
+            )
+        return out
+
+    def iter_buffers(self) -> Iterator[np.ndarray]:
+        """Yield every complete buffer in order, with persistent sessions."""
+        sessions = self._sessions()
+        for b in range(self._n_complete):
+            rows = self._chunk_map[(b, 0)].rows
+            out = np.empty((rows, self.atoms, self.axes), dtype=np.float64)
+            for a in range(self.axes):
+                out[:, :, a] = sessions[a].decompress_batch(
+                    self._payload(b, a)
+                )
+            yield out
+
+    def read_all(self) -> np.ndarray:
+        """Decode every complete buffer into one ``(T, N, axes)`` array."""
+        parts = list(self.iter_buffers())
+        if not parts:
+            return np.empty((0, self.atoms, self.axes), dtype=np.float64)
+        return np.concatenate(parts, axis=0)
+
+    # -- inspection -----------------------------------------------------
+
+    def container_info(self):
+        """Structural summary in the shared ``ContainerInfo`` shape."""
+        from ..core.methods import METHOD_NAMES
+        from ..io.container import ContainerInfo
+        from ..serde import BlobReader
+        from ..sz.lossless import lossless_decompress
+
+        methods: list[dict[str, int]] = [dict() for _ in range(self.axes)]
+        payload_bytes = 0
+        for entry in self._layout.chunks:
+            payload_bytes += entry.length
+            blob = fmt.chunk_payload(self._blob, entry)
+            reader = BlobReader(lossless_decompress(blob))
+            method_id = int(reader.read_json()["m"])
+            name = METHOD_NAMES.get(method_id, f"?{method_id}")
+            per_axis = methods[entry.axis]
+            per_axis[name] = per_axis.get(name, 0) + 1
+        return ContainerInfo(
+            snapshots=self.snapshots,
+            atoms=self.atoms,
+            axes=self.axes,
+            buffer_size=self.buffer_size,
+            error_bounds=self.error_bounds,
+            method=self.method,
+            sequence=self.sequence,
+            n_buffers=self._n_complete,
+            payload_bytes=payload_bytes,
+            methods_per_axis=tuple(methods),
+        )

@@ -1,0 +1,308 @@
+"""Incremental ``MDZ2`` writer with a snapshot-at-a-time ``feed`` API.
+
+This is the in-situ half of the streaming subsystem: an MD engine hands
+over one ``(atoms, axes)`` snapshot per dump step, the writer buffers
+``buffer_size`` of them, and every full buffer is compressed per axis and
+appended to the container as self-delimiting chunk frames.  Nothing is
+ever held beyond the current buffer plus the bounded executor queue, so
+memory stays flat over arbitrarily long trajectories, and a crash at any
+point leaves a file whose fully written chunks are recoverable
+(:mod:`repro.stream.format`).
+
+Error bounds: a value-range-relative bound is resolved against the value
+range of the *first* buffer of each axis (the whole trajectory is never
+visible at once).  The resolved absolute bounds travel in the header, so
+decompression is exact with respect to them regardless of later drift —
+drifting values simply fall into the quantizer's out-of-scope side
+channel.
+
+Compression jobs are distributed through a
+:class:`~repro.stream.executor.ParallelExecutor`: the first buffer and
+ADP trial buffers run in-session (they establish or update cross-buffer
+state), everything else is dispatched per (buffer, axis) — and is
+byte-identical to serial execution by construction.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import BinaryIO, Iterable
+
+import numpy as np
+
+from ..baselines.api import SessionMeta
+from ..core.config import MDZConfig
+from ..core.mdz import MDZAxisCompressor
+from ..exceptions import CompressionError
+from . import format as fmt
+from .executor import AxisJobSpec, ParallelExecutor, encode_axis_buffer
+
+
+@dataclass
+class StreamStats:
+    """Running statistics of one streaming compression session."""
+
+    snapshots: int = 0
+    buffers: int = 0
+    chunks: int = 0
+    raw_bytes: int = 0
+    bytes_written: int = 0
+    compress_seconds: float = 0.0
+
+    @property
+    def compression_ratio(self) -> float:
+        """Raw float32 footprint over container bytes written so far."""
+        return self.raw_bytes / max(self.bytes_written, 1)
+
+
+@dataclass
+class _PendingChunk:
+    buffer_index: int
+    axis: int
+    rows: int
+
+
+class StreamingWriter:
+    """Append-only ``MDZ2`` writer: ``feed`` snapshots, ``close`` to seal.
+
+    Parameters
+    ----------
+    target:
+        Output path or a writable binary file object (no seeking needed —
+        a pipe or socket works).
+    config:
+        MDZ configuration; ``config.buffer_size`` sets the flush cadence.
+    workers:
+        Worker processes for the compression pool; ``0``/``1`` = serial.
+    executor:
+        Inject a pre-built :class:`ParallelExecutor` (ownership stays with
+        the caller); overrides ``workers``.
+
+    Example
+    -------
+    >>> with StreamingWriter("run.mdz", MDZConfig(buffer_size=10)) as w:
+    ...     for snapshot in simulation:          # (atoms, 3) arrays
+    ...         w.feed(snapshot)
+    ... # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        target: str | Path | BinaryIO,
+        config: MDZConfig | None = None,
+        workers: int = 0,
+        executor: ParallelExecutor | None = None,
+    ) -> None:
+        self.config = config if config is not None else MDZConfig()
+        if isinstance(target, (str, Path)):
+            self._fh: BinaryIO = open(target, "wb")
+            self._owns_fh = True
+        else:
+            self._fh = target
+            self._owns_fh = False
+        if executor is not None:
+            self._executor = executor
+            self._owns_executor = False
+        else:
+            self._executor = ParallelExecutor(workers=workers)
+            self._owns_executor = True
+        self.stats = StreamStats()
+        self._buffer: list[np.ndarray] = []
+        self._pending: deque[_PendingChunk] = deque()
+        self._chunks: list[fmt.ChunkEntry] = []
+        self._sessions: list[MDZAxisCompressor] | None = None
+        self._bounds: list[float] = []
+        self._shape: tuple[int, int] | None = None  # (atoms, axes)
+        self._buffer_index = 0
+        self._offset = 0
+        self._closed = False
+
+    # -- feeding --------------------------------------------------------
+
+    def feed(self, snapshot: np.ndarray) -> None:
+        """Buffer one ``(atoms, axes)`` (or ``(atoms,)``) snapshot.
+
+        Triggers a buffer flush — and, in parallel mode, chunk writes for
+        any jobs that completed in the background — when due.
+        """
+        if self._closed:
+            raise CompressionError("writer is closed")
+        arr = np.asarray(snapshot, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr[:, None]
+        if arr.ndim != 2:
+            raise CompressionError(
+                f"expected an (atoms, axes) snapshot, got shape "
+                f"{np.shape(snapshot)}"
+            )
+        if self._shape is None:
+            if arr.size == 0:
+                raise CompressionError("cannot compress empty snapshots")
+            self._shape = arr.shape
+        elif arr.shape != self._shape:
+            raise CompressionError(
+                f"snapshot shape {arr.shape} does not match the stream's "
+                f"{self._shape}"
+            )
+        self._buffer.append(arr)
+        self.stats.snapshots += 1
+        self.stats.raw_bytes += arr.size * 4  # float32 storage convention
+        if len(self._buffer) >= self.config.buffer_size:
+            self._flush()
+        else:
+            self._collect(block=False)
+
+    def feed_many(self, snapshots: Iterable[np.ndarray]) -> None:
+        """Feed an iterable of snapshots (or a ``(T, N, axes)`` array)."""
+        for snapshot in snapshots:
+            self.feed(snapshot)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> StreamStats:
+        """Flush the partial buffer, seal the footer, release resources.
+
+        Idempotent: later calls return the final stats unchanged.
+        """
+        if self._closed:
+            return self.stats
+        if self._buffer:
+            self._flush()
+        if self._sessions is None:
+            self._release()
+            raise CompressionError("cannot finalize an empty stream")
+        start = time.perf_counter()
+        self._collect(block=True)
+        self.stats.compress_seconds += time.perf_counter() - start
+        self._offset += fmt.write_footer(
+            self._fh, self._chunks, self.stats.snapshots, self._offset
+        )
+        self._fh.flush()
+        self.stats.bytes_written = self._offset
+        self._release()
+        return self.stats
+
+    def abort(self) -> None:
+        """Stop without writing the footer (simulates/handles a crash).
+
+        The file keeps every chunk written so far and remains readable
+        with ``StreamingReader(..., recover=True)``.
+        """
+        if self._closed:
+            return
+        if self._owns_executor:
+            self._executor.terminate()
+        self._fh.flush()
+        self._release()
+
+    def __enter__(self) -> "StreamingWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # On an exception, leave a recoverable (footer-less) file rather
+        # than sealing a stream the producer considers incomplete.
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+    # -- internals ------------------------------------------------------
+
+    def _release(self) -> None:
+        self._closed = True
+        self._buffer.clear()
+        if self._owns_executor:
+            self._executor.close()
+        if self._owns_fh:
+            self._fh.close()
+
+    def _start(self, batch: np.ndarray) -> None:
+        """First flush: resolve bounds, open sessions, write the header."""
+        n_atoms, n_axes = self._shape
+        self._bounds = []
+        self._sessions = []
+        for a in range(n_axes):
+            axis = batch[:, :, a]
+            bound = self.config.absolute_bound(
+                float(axis.max() - axis.min())
+            )
+            session = MDZAxisCompressor(self.config)
+            session.begin(bound, SessionMeta(n_atoms=n_atoms))
+            self._bounds.append(bound)
+            self._sessions.append(session)
+        self._offset += fmt.write_magic(self._fh)
+        self._offset += fmt.write_header(
+            self._fh,
+            {
+                "atoms": n_atoms,
+                "axes": n_axes,
+                "buffer_size": self.config.buffer_size,
+                "error_bounds": self._bounds,
+                "scale": self.config.quantization_scale,
+                "sequence": self.config.sequence_mode,
+                "method": self.config.method,
+                "lossless": self.config.lossless_backend,
+            },
+        )
+
+    def _flush(self) -> None:
+        start = time.perf_counter()
+        batch = np.stack(self._buffer)  # (B, N, axes)
+        self._buffer.clear()
+        if self._sessions is None:
+            self._start(batch)
+        rows = batch.shape[0]
+        for a in range(batch.shape[2]):
+            session = self._sessions[a]
+            axis_batch = np.ascontiguousarray(batch[:, :, a])
+            method = session.pending_method()
+            if method is None:
+                # First buffer or ADP trial: must run in-session, where it
+                # establishes the reference/level model or re-picks the
+                # method for the following buffers.
+                self._executor.push(session.compress_batch(axis_batch))
+            else:
+                reference, level_fit = session.export_session_seed()
+                spec = AxisJobSpec(
+                    method=method,
+                    error_bound=session.error_bound,
+                    n_atoms=self._shape[0],
+                    quantization_scale=self.config.quantization_scale,
+                    sequence_mode=self.config.sequence_mode,
+                    lossless_backend=self.config.lossless_backend,
+                    level_seed=self.config.level_seed,
+                    # Only MT reads the reference; skip shipping it
+                    # otherwise (it is one full snapshot per job).
+                    reference=reference if method == "mt" else None,
+                    level_fit=level_fit,
+                )
+                session.note_external_buffer()
+                self._executor.submit(encode_axis_buffer, spec, axis_batch)
+            self._pending.append(
+                _PendingChunk(buffer_index=self._buffer_index, axis=a, rows=rows)
+            )
+        self._buffer_index += 1
+        self.stats.buffers += 1
+        self._collect(block=False)
+        self.stats.compress_seconds += time.perf_counter() - start
+
+    def _collect(self, block: bool) -> None:
+        """Append chunk frames for every completed compression job."""
+        results = self._executor.drain() if block else self._executor.ready()
+        for blob in results:
+            meta = self._pending.popleft()
+            entry, written = fmt.write_chunk(
+                self._fh,
+                meta.buffer_index,
+                meta.axis,
+                meta.rows,
+                blob,
+                self._offset,
+            )
+            self._chunks.append(entry)
+            self._offset += written
+            self.stats.chunks += 1
+        self.stats.bytes_written = self._offset

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
-from repro.io.dump import DumpFrame, write_dump
+from repro.io.dump import DumpFrame, frames_to_array, read_dump, write_dump
 
 
 @pytest.fixture
@@ -82,6 +82,32 @@ class TestCompressDecompress:
         container = tmp_path / "run.mdz"
         assert main(["compress", str(dump_path), str(container)]) == 0
 
+    def test_lammpstrj_round_trip(self, tmp_path, rng):
+        frames = [
+            DumpFrame(
+                timestep=i,
+                box=np.column_stack([np.zeros(3), np.full(3, 10.0)]),
+                positions=(
+                    rng.integers(0, 5, (40, 3)) * 2.0
+                    + rng.normal(0, 0.02, (40, 3))
+                ),
+            )
+            for i in range(8)
+        ]
+        dump_path = tmp_path / "run.lammpstrj"
+        write_dump(dump_path, frames)
+        container = tmp_path / "run.mdz"
+        restored = tmp_path / "restored.npy"
+        assert main(["compress", str(dump_path), str(container)]) == 0
+        assert main(["decompress", str(container), str(restored)]) == 0
+        data = frames_to_array(read_dump(dump_path))
+        out = np.load(restored)
+        assert out.shape == data.shape
+        for a in range(3):
+            axis = data[:, :, a]
+            bound = 1e-3 * (axis.max() - axis.min())
+            assert np.abs(out[:, :, a] - axis).max() <= bound * (1 + 1e-9)
+
     def test_unknown_format_fails_cleanly(self, tmp_path, capsys):
         bad = tmp_path / "traj.xyz"
         bad.write_text("not a trajectory")
@@ -93,6 +119,45 @@ class TestCompressDecompress:
             ["compress", str(tmp_path / "nope.npy"), str(tmp_path / "o.mdz")]
         )
         assert code == 1
+
+
+class TestStream:
+    def test_stream_round_trip(self, tmp_path, npy_trajectory, capsys):
+        path, data = npy_trajectory
+        container = tmp_path / "traj.mdz"
+        restored = tmp_path / "restored.npy"
+        code = main(
+            ["stream", str(path), str(container), "--buffer-size", "5"]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "streamed 15 snapshots" in stdout
+        assert "3 buffers" in stdout
+        assert main(["decompress", str(container), str(restored)]) == 0
+        out = np.load(restored)
+        assert out.shape == data.shape
+        for a in range(3):
+            axis = data[:, :, a].astype(np.float64)
+            bound = 1e-3 * (axis.max() - axis.min())
+            assert np.abs(out[:, :, a] - axis).max() <= bound * (1 + 1e-9)
+
+    def test_stream_container_is_mdz2(self, tmp_path, npy_trajectory):
+        from repro.io.container import container_version
+
+        path, _ = npy_trajectory
+        container = tmp_path / "t.mdz"
+        assert main(["stream", str(path), str(container)]) == 0
+        assert container_version(container.read_bytes()) == 2
+
+    def test_stream_info(self, tmp_path, npy_trajectory, capsys):
+        path, _ = npy_trajectory
+        container = tmp_path / "t.mdz"
+        main(["stream", str(path), str(container), "--buffer-size", "5"])
+        capsys.readouterr()
+        assert main(["info", str(container)]) == 0
+        out = capsys.readouterr().out
+        assert "snapshots=15" in out
+        assert "buffers=3" in out
 
 
 class TestInfoAndBench:
@@ -116,3 +181,16 @@ class TestInfoAndBench:
         out = capsys.readouterr().out
         for name in ("mdz", "tng", "zstd"):
             assert name in out
+
+    def test_bench_unknown_compressor_fails_cleanly(
+        self, tmp_path, npy_trajectory, capsys
+    ):
+        path, _ = npy_trajectory
+        code = main(
+            ["bench", str(path), "--compressors", "mdz,nonexistent"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "unknown compressor(s): nonexistent" in err
+        assert "registered:" in err
+        assert "mdz" in err

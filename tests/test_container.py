@@ -74,6 +74,15 @@ class TestContainerErrors:
         with pytest.raises(ContainerFormatError, match="magic"):
             read_container(bytes(blob))
 
+    def test_truncated_container_rejected(self, trajectory):
+        blob = write_container(trajectory, MDZConfig(buffer_size=4))
+        with pytest.raises(ContainerFormatError):
+            read_container(blob[: len(blob) // 3])
+
+    def test_short_garbage_rejected(self):
+        with pytest.raises(ContainerFormatError):
+            read_container(b"\x01\x02")
+
     def test_empty_trajectory_rejected(self):
         with pytest.raises(CompressionError):
             write_container(np.empty((0, 5, 3)), MDZConfig())

@@ -1,0 +1,349 @@
+"""Tests for the streaming subsystem: MDZ2 format, writer/reader, executor."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.config import MDZConfig
+from repro.exceptions import CompressionError, ContainerFormatError
+from repro.io.container import (
+    container_version,
+    read_container,
+    read_container_batch,
+    read_container_info,
+    write_container,
+)
+from repro.stream import (
+    ParallelExecutor,
+    StreamingReader,
+    StreamingWriter,
+    parse_stream,
+    stream_compress,
+    stream_decompress,
+)
+
+
+def _stream_blob(trajectory, config=None, workers=0):
+    sink = io.BytesIO()
+    stream_compress(trajectory, sink, config=config, workers=workers)
+    return sink.getvalue()
+
+
+class TestStreamRoundTrip:
+    def test_full_round_trip_within_bound(self, trajectory):
+        blob = _stream_blob(trajectory, MDZConfig(buffer_size=4))
+        out = stream_decompress(blob)
+        assert out.shape == trajectory.shape
+        bounds = StreamingReader(blob).error_bounds
+        for a in range(3):
+            err = np.abs(out[:, :, a] - trajectory[:, :, a]).max()
+            assert err <= bounds[a] * (1 + 1e-9)
+
+    def test_partial_final_buffer(self, trajectory):
+        # 12 snapshots with BS=5 -> buffers of 5, 5, 2.
+        blob = _stream_blob(trajectory, MDZConfig(buffer_size=5))
+        reader = StreamingReader(blob)
+        assert reader.n_buffers == 3
+        assert reader.snapshots == 12
+        assert reader.read_all().shape == trajectory.shape
+
+    @pytest.mark.parametrize("method", ["vq", "vqt", "mt", "adp"])
+    def test_all_methods(self, trajectory, method):
+        config = MDZConfig(buffer_size=4, method=method)
+        out = stream_decompress(_stream_blob(trajectory, config))
+        assert out.shape == trajectory.shape
+
+    def test_single_axis_snapshots(self, crystal_stream):
+        # (atoms,) snapshots are promoted to one axis.
+        sink = io.BytesIO()
+        with StreamingWriter(sink, MDZConfig(buffer_size=10)) as writer:
+            for row in crystal_stream:
+                writer.feed(row)
+        out = stream_decompress(sink.getvalue())
+        assert out.shape == (*crystal_stream.shape, 1)
+
+    def test_path_target(self, tmp_path, trajectory):
+        path = tmp_path / "run.mdz"
+        stream_compress(trajectory, path, MDZConfig(buffer_size=4))
+        out = StreamingReader(path).read_all()
+        assert out.shape == trajectory.shape
+
+    def test_stats(self, trajectory):
+        sink = io.BytesIO()
+        stats = stream_compress(trajectory, sink, MDZConfig(buffer_size=4))
+        assert stats.snapshots == 12
+        assert stats.buffers == 3
+        assert stats.chunks == 9
+        assert stats.raw_bytes == trajectory.astype(np.float32).nbytes
+        assert stats.bytes_written == len(sink.getvalue())
+        assert stats.compression_ratio > 1.0
+
+    def test_matches_monolithic_reconstruction_bound(self, trajectory):
+        # Same data through MDZ1 and MDZ2 obeys the same per-axis bounds
+        # when those bounds are absolute (no first-buffer range estimate).
+        config = MDZConfig(
+            error_bound=0.02, error_bound_mode="absolute", buffer_size=4
+        )
+        mono = read_container(write_container(trajectory, config))
+        streamed = stream_decompress(_stream_blob(trajectory, config))
+        assert np.abs(mono - trajectory).max() <= 0.02 * (1 + 1e-9)
+        assert np.abs(streamed - trajectory).max() <= 0.02 * (1 + 1e-9)
+
+
+class TestRandomAccess:
+    def test_read_buffer_matches_full_decode(self, trajectory):
+        blob = _stream_blob(trajectory, MDZConfig(buffer_size=4))
+        reader = StreamingReader(blob)
+        full = reader.read_all()
+        for b, t0 in enumerate(range(0, 12, 4)):
+            assert np.array_equal(reader.read_buffer(b), full[t0 : t0 + 4])
+
+    def test_vq_buffer_access(self, trajectory):
+        config = MDZConfig(buffer_size=4, method="vq")
+        blob = _stream_blob(trajectory, config)
+        reader = StreamingReader(blob)
+        assert np.array_equal(reader.read_buffer(2), reader.read_all()[8:12])
+
+    def test_out_of_range_rejected(self, trajectory):
+        blob = _stream_blob(trajectory, MDZConfig(buffer_size=4))
+        with pytest.raises(ContainerFormatError, match="out of range"):
+            StreamingReader(blob).read_buffer(99)
+
+    def test_iter_buffers(self, trajectory):
+        blob = _stream_blob(trajectory, MDZConfig(buffer_size=5))
+        parts = list(StreamingReader(blob).iter_buffers())
+        assert [p.shape[0] for p in parts] == [5, 5, 2]
+        assert np.array_equal(np.concatenate(parts), stream_decompress(blob))
+
+
+class TestContainerDispatch:
+    def test_container_version(self, trajectory):
+        mono = write_container(trajectory, MDZConfig())
+        streamed = _stream_blob(trajectory)
+        assert container_version(mono) == 1
+        assert container_version(streamed) == 2
+
+    def test_version_rejects_garbage(self):
+        with pytest.raises(ContainerFormatError):
+            container_version(b"\x00\x01\x02\x03 not a container")
+
+    def test_read_container_handles_mdz2(self, trajectory):
+        blob = _stream_blob(trajectory, MDZConfig(buffer_size=4))
+        assert np.array_equal(read_container(blob), stream_decompress(blob))
+
+    def test_read_container_batch_handles_mdz2(self, trajectory):
+        blob = _stream_blob(trajectory, MDZConfig(buffer_size=4))
+        full = read_container(blob)
+        assert np.array_equal(read_container_batch(blob, 1), full[4:8])
+
+    def test_read_container_info_handles_mdz2(self, trajectory):
+        blob = _stream_blob(trajectory, MDZConfig(buffer_size=4))
+        info = read_container_info(blob)
+        assert info.snapshots == 12
+        assert info.atoms == 150
+        assert info.axes == 3
+        assert info.n_buffers == 3
+        assert len(info.methods_per_axis) == 3
+        assert sum(info.methods_per_axis[0].values()) == 3
+
+
+class TestWriterLifecycle:
+    def test_empty_stream_rejected(self):
+        writer = StreamingWriter(io.BytesIO())
+        with pytest.raises(CompressionError, match="empty"):
+            writer.close()
+
+    def test_close_is_idempotent(self, trajectory):
+        writer = StreamingWriter(io.BytesIO(), MDZConfig(buffer_size=4))
+        writer.feed_many(trajectory)
+        stats = writer.close()
+        assert writer.close() is stats
+
+    def test_feed_after_close_rejected(self, trajectory):
+        writer = StreamingWriter(io.BytesIO(), MDZConfig(buffer_size=4))
+        writer.feed_many(trajectory)
+        writer.close()
+        with pytest.raises(CompressionError, match="closed"):
+            writer.feed(trajectory[0])
+
+    def test_shape_mismatch_rejected(self, trajectory):
+        writer = StreamingWriter(io.BytesIO(), MDZConfig(buffer_size=4))
+        writer.feed(trajectory[0])
+        with pytest.raises(CompressionError, match="shape"):
+            writer.feed(trajectory[0, :50])
+        writer.abort()
+
+    def test_bad_rank_rejected(self):
+        writer = StreamingWriter(io.BytesIO())
+        with pytest.raises(CompressionError, match="snapshot"):
+            writer.feed(np.zeros((2, 3, 4)))
+        writer.abort()
+
+
+class TestParallelByteIdentity:
+    @pytest.mark.parametrize("method", ["adp", "vq", "mt"])
+    def test_workers_match_serial_bytes(self, trajectory, method):
+        config = MDZConfig(buffer_size=3, method=method)
+        serial = _stream_blob(trajectory, config, workers=0)
+        parallel = _stream_blob(trajectory, config, workers=2)
+        assert parallel == serial
+
+    def test_injected_executor(self, trajectory):
+        config = MDZConfig(buffer_size=4)
+        with ParallelExecutor(workers=2) as executor:
+            sink = io.BytesIO()
+            writer = StreamingWriter(sink, config, executor=executor)
+            writer.feed_many(trajectory)
+            writer.close()
+        assert sink.getvalue() == _stream_blob(trajectory, config)
+
+
+def _double(x):
+    return 2 * x
+
+
+def _boom(x):
+    raise ValueError(f"boom {x}")
+
+
+class _ExplodingPool:
+    """Stub pool whose dispatch always fails (simulates a dead pool)."""
+
+    def apply_async(self, fn, args):
+        raise RuntimeError("pool is dead")
+
+    def terminate(self):
+        pass
+
+    def join(self):
+        pass
+
+
+class TestParallelExecutor:
+    def test_serial_runs_inline_in_order(self):
+        ex = ParallelExecutor(workers=0)
+        for i in range(5):
+            ex.submit(_double, i)
+        assert not ex.parallel
+        assert ex.drain() == [0, 2, 4, 6, 8]
+        ex.close()
+
+    def test_push_preserves_fifo_order(self):
+        ex = ParallelExecutor(workers=0)
+        ex.submit(_double, 1)
+        ex.push("in-session")
+        ex.submit(_double, 3)
+        assert ex.drain() == [2, "in-session", 6]
+        ex.close()
+
+    def test_serial_ready_returns_everything(self):
+        ex = ParallelExecutor(workers=0)
+        ex.submit(_double, 7)
+        assert ex.ready() == [14]
+        assert ex.ready() == []
+        ex.close()
+
+    def test_pool_results_in_submission_order(self):
+        with ParallelExecutor(workers=2) as ex:
+            for i in range(8):
+                ex.submit(_double, i)
+            assert ex.drain() == [2 * i for i in range(8)]
+
+    def test_backpressure_bounds_inflight(self):
+        ex = ParallelExecutor(workers=2, max_pending=3)
+        for i in range(10):
+            ex.submit(_double, i)
+            assert ex._inflight() <= 3
+        assert ex.drain() == [2 * i for i in range(10)]
+        ex.close()
+
+    def test_dead_pool_degrades_to_inline(self):
+        ex = ParallelExecutor(workers=2)
+        ex._pool = _ExplodingPool()
+        ex.submit(_double, 5)
+        ex.submit(_double, 6)
+        assert not ex.parallel  # fell back after the dispatch failure
+        assert ex.drain() == [10, 12]
+        ex.close()
+
+    def test_job_error_surfaces(self):
+        with pytest.raises(ValueError, match="boom"):
+            with ParallelExecutor(workers=2) as ex:
+                ex.submit(_boom, 1)
+                ex.drain()
+
+    def test_terminate_discards_queue(self):
+        ex = ParallelExecutor(workers=0)
+        ex.submit(_double, 1)
+        ex.terminate()
+        assert ex.drain() == []
+
+
+class TestCrashRecovery:
+    def test_abort_leaves_recoverable_file(self, trajectory):
+        sink = io.BytesIO()
+        writer = StreamingWriter(sink, MDZConfig(buffer_size=4))
+        writer.feed_many(trajectory[:8])  # two full buffers
+        writer.abort()
+        blob = sink.getvalue()
+        with pytest.raises(ContainerFormatError, match="footer"):
+            StreamingReader(blob)
+        reader = StreamingReader(blob, recover=True)
+        assert reader.recovered
+        assert reader.n_buffers == 2
+        full = stream_decompress(_stream_blob(trajectory, MDZConfig(buffer_size=4)))
+        assert np.array_equal(reader.read_all(), full[:8])
+
+    def test_exception_in_with_block_aborts(self, trajectory):
+        sink = io.BytesIO()
+        with pytest.raises(RuntimeError, match="simulated"):
+            with StreamingWriter(sink, MDZConfig(buffer_size=4)) as writer:
+                writer.feed_many(trajectory[:4])
+                raise RuntimeError("simulated producer crash")
+        reader = StreamingReader(sink.getvalue(), recover=True)
+        assert reader.n_buffers == 1
+
+    def test_truncation_drops_torn_buffer(self, trajectory):
+        blob = _stream_blob(trajectory, MDZConfig(buffer_size=4))
+        last_chunk = parse_stream(blob).chunks[-1]
+        torn = blob[: last_chunk.offset + last_chunk.length // 2]
+        reader = StreamingReader(torn, recover=True)
+        assert reader.n_buffers == 2  # the third buffer lost an axis
+        full = stream_decompress(blob)
+        assert np.array_equal(reader.read_all(), full[:8])
+
+    def test_truncation_without_recover_is_an_error(self, trajectory):
+        blob = _stream_blob(trajectory, MDZConfig(buffer_size=4))
+        with pytest.raises(ContainerFormatError):
+            StreamingReader(blob[: len(blob) // 2])
+
+
+class TestCorruption:
+    def test_bad_magic_rejected(self, trajectory):
+        blob = bytearray(_stream_blob(trajectory))
+        blob[0] ^= 0xFF
+        with pytest.raises(ContainerFormatError, match="magic"):
+            StreamingReader(bytes(blob))
+
+    def test_flipped_payload_byte_detected(self, trajectory):
+        blob = bytearray(_stream_blob(trajectory, MDZConfig(buffer_size=4)))
+        entry = parse_stream(bytes(blob)).chunks[0]
+        blob[entry.offset + entry.length // 2] ^= 0x01
+        with pytest.raises(ContainerFormatError, match="checksum"):
+            StreamingReader(bytes(blob)).read_all()
+
+    def test_corrupt_header_rejected(self, trajectory):
+        blob = bytearray(_stream_blob(trajectory))
+        blob[12] ^= 0x01  # inside the header JSON
+        with pytest.raises(ContainerFormatError, match="header"):
+            StreamingReader(bytes(blob))
+
+    def test_recovery_scan_stops_at_corrupt_chunk(self, trajectory):
+        blob = bytearray(_stream_blob(trajectory, MDZConfig(buffer_size=4)))
+        entry = parse_stream(bytes(blob)).chunks[3]  # first chunk of buffer 1
+        blob[entry.offset] ^= 0x01
+        trailer = 12
+        torn = bytes(blob)[: len(blob) - trailer]  # also drop the trailer
+        reader = StreamingReader(torn, recover=True)
+        assert reader.n_buffers == 1  # nothing after the bad frame is trusted
