@@ -8,9 +8,16 @@ and records the end-to-end throughput of both modes.  The speedup
 assertion only runs on hosts with enough cores — on a small CI box the
 pool's pickling overhead legitimately dominates — but byte identity is
 checked everywhere.
+
+A third, telemetry-instrumented serial pass emits
+``results/BENCH_fig15.json``: the per-stage second/byte breakdown of one
+full streaming compression, the baseline future performance PRs have to
+beat stage by stage.  The timed serial/parallel passes run with telemetry
+*disabled*, so the recorded throughput is the production configuration.
 """
 
 import io
+import json
 import os
 import time
 
@@ -20,6 +27,7 @@ from conftest import record, run_once
 from repro.core.config import MDZConfig
 from repro.datasets import load_dataset
 from repro.stream import StreamingReader, stream_compress
+from repro.telemetry import recording
 
 EPSILON = 1e-3
 BS = 10
@@ -47,10 +55,15 @@ def run_experiment():
     parallel_blob, parallel_stats, parallel_s = _run(
         positions, workers=WORKERS
     )
+    with recording() as rec:
+        t0 = time.perf_counter()
+        _, profiled_stats, _ = _run(positions, workers=0)
+        profiled_s = time.perf_counter() - t0
     return {
         "positions": positions,
         "serial": (serial_blob, serial_stats, serial_s),
         "parallel": (parallel_blob, parallel_stats, parallel_s),
+        "profile": (rec.snapshot(), profiled_stats, profiled_s),
     }
 
 
@@ -76,6 +89,33 @@ def test_fig15_streaming(benchmark, results_dir):
         f"byte-identical: {parallel_blob == serial_blob}",
     ]
     record(results_dir, "fig15_streaming", "\n".join(lines))
+
+    # Per-stage breakdown from the instrumented pass: the trajectory for
+    # future perf PRs to beat.  Stage timers nest (flush ⊇ compress_batch
+    # ⊇ huffman/lossless), so each is individually bounded by wall-clock.
+    snapshot, profiled_stats, profiled_s = out["profile"]
+    assert snapshot["timers"]["stream.flush"]["seconds"] <= profiled_s
+    assert (
+        0
+        < snapshot["counters"]["stream.chunk_bytes"]
+        < profiled_stats.bytes_written
+    )
+    bench = {
+        "benchmark": "fig15_streaming",
+        "dataset": "copper-b",
+        "snapshots": SNAPSHOTS,
+        "buffer_size": BS,
+        "workers": WORKERS,
+        "serial_mb_per_s": mb / serial_s,
+        "parallel_mb_per_s": mb / parallel_s,
+        "byte_identical": parallel_blob == serial_blob,
+        "container_bytes": len(serial_blob),
+        "compression_ratio": serial_stats.compression_ratio,
+        "profiled_wall_seconds": profiled_s,
+        "stages": snapshot["timers"],
+        "counters": snapshot["counters"],
+    }
+    (results_dir / "BENCH_fig15.json").write_text(json.dumps(bench, indent=2))
 
     # Round trip through the chunked container stays within the stored
     # per-axis absolute bounds.

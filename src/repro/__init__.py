@@ -37,6 +37,14 @@ from .exceptions import (
     UnsupportedDatasetError,
 )
 from .io.batch import run_stream, stream_error_bound
+from .telemetry import (
+    MetricsRecorder,
+    NullRecorder,
+    Recorder,
+    get_recorder,
+    recording,
+    set_recorder,
+)
 from .stream import (
     ParallelExecutor,
     StreamingReader,
@@ -58,7 +66,10 @@ __all__ = [
     "MDZ",
     "MDZAxisCompressor",
     "MDZConfig",
+    "MetricsRecorder",
+    "NullRecorder",
     "ParallelExecutor",
+    "Recorder",
     "ReproError",
     "SessionMeta",
     "SimulationError",
@@ -68,7 +79,10 @@ __all__ = [
     "UnsupportedDatasetError",
     "available_compressors",
     "create_compressor",
+    "get_recorder",
+    "recording",
     "run_stream",
+    "set_recorder",
     "stream_compress",
     "stream_compress_dump",
     "stream_decompress",

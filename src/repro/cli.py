@@ -1,4 +1,4 @@
-"""Command-line interface: ``mdz`` compress/stream/decompress/info/bench.
+"""Command-line interface: ``mdz`` compress/stream/decompress/info/stats/bench.
 
 Usage (after ``python setup.py develop`` / ``pip install -e .``)::
 
@@ -7,6 +7,7 @@ Usage (after ``python setup.py develop`` / ``pip install -e .``)::
     mdz stream    run.dump traj.mdz --workers 4    # chunked MDZ2 pipeline
     mdz decompress traj.mdz restored.npy
     mdz info      traj.mdz
+    mdz stats     traj.npy                     # per-stage time/byte profile
     mdz bench     traj.npy --compressors mdz,sz2,tng
 
 ``compress`` loads the whole trajectory and writes a monolithic ``MDZ1``
@@ -14,6 +15,13 @@ container; ``stream`` feeds snapshots one at a time through the streaming
 subsystem and writes a chunked, crash-recoverable ``MDZ2`` container,
 optionally fanning compression across ``--workers`` processes.
 ``decompress``/``info`` accept both formats.
+
+``stats`` compresses with the telemetry layer enabled and prints where the
+wall-clock and the container bytes go, stage by stage (prediction +
+quantization live inside ``mdz.compress_batch``; the Huffman and
+dictionary-coder stages are broken out).  ``compress``/``stream``/``stats``
+all accept ``--metrics-json PATH`` to dump the full telemetry snapshot for
+machine consumption.
 
 Input trajectories are ``.npy`` arrays of shape (snapshots, atoms, 3) (or
 (snapshots, atoms)) or LAMMPS-style text dumps (``.dump``/``.lammpstrj``).
@@ -23,6 +31,8 @@ The same entry point is importable: ``python -m repro.cli ...``.
 from __future__ import annotations
 
 import argparse
+import io
+import json
 import sys
 import time
 from pathlib import Path
@@ -35,6 +45,7 @@ from .core.mdz import MDZ
 from .exceptions import ReproError
 from .io.container import read_container_info
 from .io.dump import frames_to_array, read_dump
+from .telemetry import MetricsRecorder, recording
 
 
 def _load_trajectory(path: Path) -> np.ndarray:
@@ -57,12 +68,34 @@ def _load_trajectory(path: Path) -> np.ndarray:
     return data
 
 
+def _metrics_scope(args: argparse.Namespace):
+    """A recording scope when ``--metrics-json`` was given, else a no-op."""
+    import contextlib
+
+    if getattr(args, "metrics_json", None):
+        return recording()
+    return contextlib.nullcontext(None)
+
+
+def _write_metrics(
+    args: argparse.Namespace, rec: MetricsRecorder | None, **extras
+) -> None:
+    """Dump a telemetry snapshot (plus run-level extras) to the JSON path."""
+    if rec is None:
+        return
+    snapshot = rec.snapshot()
+    snapshot.update(extras)
+    Path(args.metrics_json).write_text(json.dumps(snapshot, indent=2))
+    print(f"telemetry snapshot -> {args.metrics_json}")
+
+
 def _cmd_compress(args: argparse.Namespace) -> int:
     data = _load_trajectory(Path(args.input))
     config = _config_from_args(args)
-    t0 = time.perf_counter()
-    blob = MDZ(config).compress(data)
-    elapsed = time.perf_counter() - t0
+    with _metrics_scope(args) as rec:
+        t0 = time.perf_counter()
+        blob = MDZ(config).compress(data)
+        elapsed = time.perf_counter() - t0
     Path(args.output).write_bytes(blob)
     raw = data.astype(np.float32).nbytes
     print(
@@ -72,6 +105,9 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     print(
         f"compressed {raw / 1e6:.2f} MB -> {len(blob) / 1e6:.3f} MB "
         f"(CR {raw / len(blob):.1f}x) in {elapsed:.2f}s"
+    )
+    _write_metrics(
+        args, rec, wall_seconds=elapsed, container_bytes=len(blob), raw_bytes=raw
     )
     return 0
 
@@ -87,29 +123,33 @@ def _config_from_args(args: argparse.Namespace) -> MDZConfig:
     )
 
 
+def _iter_snapshots(path: Path):
+    """Lazily yield (atoms, axes) snapshots from .npy or a text dump."""
+    if path.suffix == ".npy":
+        return iter(np.load(path))
+    if path.suffix in (".dump", ".lammpstrj", ".txt"):
+        from .io.dump import read_dump
+
+        return (frame.positions for frame in read_dump(path))
+    raise ReproError(
+        f"unsupported trajectory format {path.suffix!r} "
+        "(expected .npy, .dump, or .lammpstrj)"
+    )
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     from .stream import StreamingWriter
 
-    path = Path(args.input)
-    if path.suffix == ".npy":
-        snapshots = iter(np.load(path))
-    elif path.suffix in (".dump", ".lammpstrj", ".txt"):
-        from .io.dump import read_dump
-
-        snapshots = (frame.positions for frame in read_dump(path))
-    else:
-        raise ReproError(
-            f"unsupported trajectory format {path.suffix!r} "
-            "(expected .npy, .dump, or .lammpstrj)"
-        )
-    t0 = time.perf_counter()
-    with StreamingWriter(
-        args.output, _config_from_args(args), workers=args.workers
-    ) as writer:
-        for snapshot in snapshots:
-            writer.feed(snapshot)
-        stats = writer.close()
-    elapsed = time.perf_counter() - t0
+    snapshots = _iter_snapshots(Path(args.input))
+    with _metrics_scope(args) as rec:
+        t0 = time.perf_counter()
+        with StreamingWriter(
+            args.output, _config_from_args(args), workers=args.workers
+        ) as writer:
+            for snapshot in snapshots:
+                writer.feed(snapshot)
+            stats = writer.close()
+        elapsed = time.perf_counter() - t0
     mode = f"{args.workers} workers" if args.workers > 1 else "serial"
     print(
         f"{args.input}: streamed {stats.snapshots} snapshots "
@@ -121,6 +161,87 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         f"(CR {stats.compression_ratio:.1f}x) in {elapsed:.2f}s "
         f"({stats.raw_bytes / 1e6 / max(elapsed, 1e-9):.1f} MB/s)"
     )
+    _write_metrics(
+        args,
+        rec,
+        wall_seconds=elapsed,
+        container_bytes=stats.bytes_written,
+        raw_bytes=stats.raw_bytes,
+    )
+    return 0
+
+
+def _format_stage_table(
+    snapshot: dict, wall_seconds: float, container_bytes: int
+) -> str:
+    """Human-readable per-stage breakdown of one telemetry snapshot."""
+    lines = []
+    timers = snapshot.get("timers", {})
+    if timers:
+        lines.append(f"{'stage':28s}{'calls':>8s}{'seconds':>10s}{'% wall':>8s}")
+        for name, cell in sorted(
+            timers.items(), key=lambda kv: -kv[1]["seconds"]
+        ):
+            share = 100.0 * cell["seconds"] / max(wall_seconds, 1e-12)
+            lines.append(
+                f"{name:28s}{cell['count']:8d}{cell['seconds']:10.3f}"
+                f"{share:7.1f}%"
+            )
+    counters = snapshot.get("counters", {})
+    byte_counters = {k: v for k, v in counters.items() if k.endswith("bytes")}
+    other_counters = {
+        k: v for k, v in counters.items() if not k.endswith("bytes")
+    }
+    if byte_counters:
+        lines.append("")
+        lines.append(f"{'bytes':28s}{'total':>14s}{'% container':>12s}")
+        for name, value in sorted(byte_counters.items()):
+            share = 100.0 * value / max(container_bytes, 1)
+            lines.append(f"{name:28s}{value:14d}{share:11.1f}%")
+    if other_counters:
+        lines.append("")
+        lines.append(f"{'counter':40s}{'value':>10s}")
+        for name, value in sorted(other_counters.items()):
+            lines.append(f"{name:40s}{value:10d}")
+    events = snapshot.get("events", [])
+    if events:
+        lines.append("")
+        lines.append(f"events ({len(events)}):")
+        for ev in events:
+            lines.append(f"  {ev['name']}: {ev['detail']}")
+    return "\n".join(lines)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .stream import stream_compress
+
+    snapshots = _iter_snapshots(Path(args.input))
+    sink = open(args.output, "wb") if args.output else io.BytesIO()
+    try:
+        with recording() as rec:
+            t0 = time.perf_counter()
+            stats = stream_compress(
+                snapshots, sink, _config_from_args(args), workers=args.workers
+            )
+            elapsed = time.perf_counter() - t0
+    finally:
+        if args.output:
+            sink.close()
+    print(
+        f"{args.input}: {stats.snapshots} snapshots ({stats.buffers} "
+        f"buffers) -> {stats.bytes_written} bytes "
+        f"(CR {stats.compression_ratio:.1f}x) in {elapsed:.2f}s"
+    )
+    print()
+    print(_format_stage_table(rec.snapshot(), elapsed, stats.bytes_written))
+    if getattr(args, "metrics_json", None):
+        _write_metrics(
+            args,
+            rec,
+            wall_seconds=elapsed,
+            container_bytes=stats.bytes_written,
+            raw_bytes=stats.raw_bytes,
+        )
     return 0
 
 
@@ -229,6 +350,11 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--sequence", choices=("seq1", "seq2"), default="seq2")
         p.add_argument("--scale", type=int, default=1024)
+        p.add_argument(
+            "--metrics-json",
+            metavar="PATH",
+            help="enable telemetry and write the snapshot to PATH",
+        )
 
     comp = sub.add_parser(
         "compress", help="compress a trajectory (monolithic MDZ1)"
@@ -248,6 +374,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="compression worker processes (default: serial)",
     )
     stream.set_defaults(func=_cmd_stream)
+
+    stats = sub.add_parser(
+        "stats",
+        help="profile a compression run: per-stage times and byte accounting",
+    )
+    stats.add_argument("input", help=".npy or LAMMPS-style dump file")
+    stats.add_argument(
+        "--output",
+        help="also keep the compressed MDZ2 container at this path",
+    )
+    stats.add_argument(
+        "--error-bound", type=float, default=1e-3, help="epsilon (default 1e-3)"
+    )
+    stats.add_argument(
+        "--bound-mode",
+        choices=("value_range", "absolute"),
+        default="value_range",
+    )
+    stats.add_argument("--buffer-size", type=int, default=10)
+    stats.add_argument(
+        "--method", choices=("adp", "vq", "vqt", "mt"), default="adp"
+    )
+    stats.add_argument("--sequence", choices=("seq1", "seq2"), default="seq2")
+    stats.add_argument("--scale", type=int, default=1024)
+    stats.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="compression worker processes (default: serial)",
+    )
+    stats.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        help="also write the telemetry snapshot to PATH",
+    )
+    stats.set_defaults(func=_cmd_stats)
 
     dec = sub.add_parser("decompress", help="decompress a container")
     dec.add_argument("input", help=".mdz container")

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..sz.lossless import lossless_compress
+from ..telemetry import get_recorder
 from .methods import MDZMethod, MethodState
 from .mt import MTMethod
 from .vq import VQMethod
@@ -91,17 +92,27 @@ class ADPSelector:
         value-identical to the session's).
         """
         if self.trial_due():
-            results: dict[str, tuple[bytes, np.ndarray]] = {}
-            for name, method in self.methods.items():
-                results[name] = method.encode(batch, state.clone_for_trial())
-            # Compare *final* sizes: the dictionary-coder stage is where
-            # e.g. VQ's repeated level-index streams collapse, so ranking
-            # raw payloads would misjudge the methods.
-            sizes = {
-                name: len(lossless_compress(blob, state.lossless_backend))
-                for name, (blob, _) in results.items()
-            }
+            recorder = get_recorder()
+            with recorder.timer("adp.trial"):
+                results: dict[str, tuple[bytes, np.ndarray]] = {}
+                for name, method in self.methods.items():
+                    results[name] = method.encode(batch, state.clone_for_trial())
+                # Compare *final* sizes: the dictionary-coder stage is where
+                # e.g. VQ's repeated level-index streams collapse, so ranking
+                # raw payloads would misjudge the methods.
+                sizes = {
+                    name: len(lossless_compress(blob, state.lossless_backend))
+                    for name, (blob, _) in results.items()
+                }
+            previous = self.current
             self.current = min(sizes, key=lambda name: (sizes[name], name))
+            if recorder.enabled:
+                recorder.count("adp.trials")
+                recorder.count(f"adp.winner.{self.current}")
+                if previous is not None and previous != self.current:
+                    recorder.count("adp.switches")
+                for name, size in sizes.items():
+                    recorder.count(f"adp.trial_bytes.{name}", size)
             self.history.append(
                 SelectionRecord(
                     buffer_index=self.buffers_seen,

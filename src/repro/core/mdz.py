@@ -20,6 +20,7 @@ from ..exceptions import CompressionError, DecompressionError
 from ..serde import BlobReader, BlobWriter
 from ..sz.lossless import lossless_compress, lossless_decompress
 from ..sz.quantizer import LinearQuantizer
+from ..telemetry import get_recorder
 from .adaptive import ADPSelector
 from .config import MDZConfig
 from .levels import SessionLevelModel
@@ -55,6 +56,14 @@ class MDZAxisCompressor(Compressor):
 
     def begin(self, error_bound: float | None, meta: SessionMeta) -> None:
         super().begin(error_bound, meta)
+        if error_bound is not None and not np.isfinite(error_bound):
+            # A NaN/Inf bound almost always means the value range it was
+            # resolved from came from non-finite input data; say so instead
+            # of letting the quantizer complain about its configuration.
+            raise CompressionError(
+                f"{self.name}: error bound is not finite ({error_bound}); "
+                "this usually means the input contains non-finite values"
+            )
         self._state = MethodState(
             quantizer=LinearQuantizer(
                 error_bound, self.config.quantization_scale
@@ -73,30 +82,44 @@ class MDZAxisCompressor(Compressor):
 
     def compress_batch(self, batch: np.ndarray) -> bytes:
         batch = self.as_batch(batch)
+        if not np.isfinite(batch).all():
+            raise CompressionError("input contains non-finite values")
         state = self._require_state()
-        if self.config.method == "adp":
-            name, payload, recon = self._selector.encode(batch, state)
-        else:
-            name = self.config.method
-            payload, recon = _METHOD_OBJECTS[name].encode(batch, state)
-        if state.reference is None:
-            state.reference = recon[0].copy()
-        writer = BlobWriter()
-        writer.write_json({"m": METHOD_IDS[name]})
-        writer.write_bytes(payload)
-        return lossless_compress(writer.getvalue(), state.lossless_backend)
+        recorder = get_recorder()
+        with recorder.timer("mdz.compress_batch"):
+            if self.config.method == "adp":
+                name, payload, recon = self._selector.encode(batch, state)
+            else:
+                name = self.config.method
+                payload, recon = _METHOD_OBJECTS[name].encode(batch, state)
+            if state.reference is None:
+                state.reference = recon[0].copy()
+            writer = BlobWriter()
+            writer.write_json({"m": METHOD_IDS[name]})
+            writer.write_bytes(payload)
+            blob = lossless_compress(writer.getvalue(), state.lossless_backend)
+        if recorder.enabled:
+            recorder.count("mdz.buffers")
+            recorder.count(f"mdz.method.{name}")
+            recorder.count("mdz.compressed_bytes", len(blob))
+            recorder.count("mdz.raw_values", batch.size)
+        return blob
 
     def decompress_batch(self, blob: bytes) -> np.ndarray:
         state = self._require_state()
-        reader = BlobReader(lossless_decompress(blob))
-        method_id = int(reader.read_json()["m"])
-        try:
-            name = METHOD_NAMES[method_id]
-        except KeyError:
-            raise DecompressionError(f"unknown MDZ method id {method_id}") from None
-        out = _METHOD_OBJECTS[name].decode(reader.read_bytes(), state)
-        if state.reference is None:
-            state.reference = out[0].copy()
+        recorder = get_recorder()
+        with recorder.timer("mdz.decompress_batch"):
+            reader = BlobReader(lossless_decompress(blob))
+            method_id = int(reader.read_json()["m"])
+            try:
+                name = METHOD_NAMES[method_id]
+            except KeyError:
+                raise DecompressionError(
+                    f"unknown MDZ method id {method_id}"
+                ) from None
+            out = _METHOD_OBJECTS[name].decode(reader.read_bytes(), state)
+            if state.reference is None:
+                state.reference = out[0].copy()
         return out
 
     def _require_state(self) -> MethodState:
@@ -174,6 +197,8 @@ class MDZ:
             raise CompressionError(
                 f"expected (snapshots, atoms, axes), got shape {positions.shape}"
             )
+        if not np.isfinite(positions).all():
+            raise CompressionError("input contains non-finite values")
         return write_container(positions, self.config)
 
     def decompress(self, blob: bytes) -> np.ndarray:

@@ -31,6 +31,7 @@ from ..baselines.api import SessionMeta
 from ..cluster.level_detect import LevelFit
 from ..core.config import MDZConfig
 from ..core.mdz import MDZAxisCompressor
+from ..telemetry import get_recorder
 
 _DONE = 0  # queue entry already holds its result
 _JOB = 1  # queue entry is an outstanding pool job
@@ -129,7 +130,10 @@ class ParallelExecutor:
                 self._pool = multiprocessing.get_context().Pool(
                     processes=self.workers
                 )
-            except Exception:
+            except Exception as exc:
+                get_recorder().event(
+                    "stream.executor.pool_start_failed", repr(exc)
+                )
                 self._abandon_pool()
 
     def _abandon_pool(self) -> None:
@@ -139,19 +143,30 @@ class ParallelExecutor:
         entries in the queue would hang the next ``drain()``.  The jobs
         are deterministic, so recomputing them preserves the output.
         """
+        recorder = get_recorder()
         self._broken = True
         pool, self._pool = self._pool, None
         if pool is not None:
+            recorder.count("stream.executor.pool_abandoned")
             try:
                 pool.terminate()
                 pool.join()
-            except Exception:
-                pass
+            except Exception as exc:
+                # Teardown of an already-dead pool can itself fail; the
+                # stream survives either way, but the event must not
+                # vanish — production debugging needs to see it happened.
+                recorder.event(
+                    "stream.executor.pool_teardown_error", repr(exc)
+                )
+        rerun = 0
         for entry in self._queue:
             if entry[0] == _JOB:
                 entry[1] = entry[2](*entry[3])
                 entry[0] = _DONE
                 entry[2] = entry[3] = None
+                rerun += 1
+        if recorder.enabled and rerun:
+            recorder.count("stream.executor.jobs_rerun_inline", rerun)
 
     def close(self) -> None:
         """Shut the pool down (pending jobs must be drained first)."""
@@ -183,27 +198,34 @@ class ParallelExecutor:
         (first buffer, ADP trials) so their chunks interleave correctly
         with pool-encoded ones.
         """
+        get_recorder().count("stream.executor.pushed")
         self._queue.append([_DONE, value, None, None])
 
     def submit(self, fn, *args) -> None:
         """Enqueue ``fn(*args)``; blocks while ``max_pending`` jobs are
         in flight.  ``fn`` must be a picklable module-level function."""
+        recorder = get_recorder()
         if not self.parallel:
+            recorder.count("stream.executor.inline")
             self._queue.append([_DONE, fn(*args), None, None])
             return
         self._ensure_pool()
         if not self.parallel:
+            recorder.count("stream.executor.inline")
             self._queue.append([_DONE, fn(*args), None, None])
             return
         while self._inflight() >= self.max_pending:
+            recorder.count("stream.executor.backpressure_waits")
             self._resolve_oldest_job()
         try:
             handle = self._pool.apply_async(fn, args)
-        except Exception:
+        except Exception as exc:
             # Pool died between jobs: degrade to inline execution.
+            recorder.event("stream.executor.submit_failed", repr(exc))
             self._abandon_pool()
             self._queue.append([_DONE, fn(*args), None, None])
             return
+        recorder.count("stream.executor.dispatched")
         self._queue.append([_JOB, handle, fn, args])
 
     # -- collection -----------------------------------------------------
@@ -252,11 +274,12 @@ class ParallelExecutor:
         """Wait for one pool job; on pool failure re-run it inline."""
         try:
             value = entry[1].get(timeout=self.JOB_TIMEOUT)
-        except Exception:
+        except Exception as exc:
             # Either the pool died or the job itself raised.  Re-running
             # inline distinguishes the two: a genuine job error surfaces
             # to the caller, a dead pool is survived transparently.  The
             # abandon sweep resolves this entry along with the rest.
+            get_recorder().event("stream.executor.job_failed", repr(exc))
             self._abandon_pool()
             if entry[0] == _JOB:  # pragma: no cover - defensive
                 entry[1] = entry[2](*entry[3])

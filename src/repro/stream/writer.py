@@ -37,6 +37,7 @@ from ..baselines.api import SessionMeta
 from ..core.config import MDZConfig
 from ..core.mdz import MDZAxisCompressor
 from ..exceptions import CompressionError
+from ..telemetry import get_recorder
 from . import format as fmt
 from .executor import AxisJobSpec, ParallelExecutor, encode_axis_buffer
 
@@ -98,9 +99,11 @@ class StreamingWriter:
     ) -> None:
         self.config = config if config is not None else MDZConfig()
         if isinstance(target, (str, Path)):
+            self._path: Path | None = Path(target)
             self._fh: BinaryIO = open(target, "wb")
             self._owns_fh = True
         else:
+            self._path = None
             self._fh = target
             self._owns_fh = False
         if executor is not None:
@@ -138,6 +141,8 @@ class StreamingWriter:
                 f"expected an (atoms, axes) snapshot, got shape "
                 f"{np.shape(snapshot)}"
             )
+        if not np.isfinite(arr).all():
+            raise CompressionError("input contains non-finite values")
         if self._shape is None:
             if arr.size == 0:
                 raise CompressionError("cannot compress empty snapshots")
@@ -165,7 +170,11 @@ class StreamingWriter:
     def close(self) -> StreamStats:
         """Flush the partial buffer, seal the footer, release resources.
 
-        Idempotent: later calls return the final stats unchanged.
+        Idempotent: later calls return the final stats unchanged.  A
+        never-fed stream cannot be finalized; when the writer opened the
+        output path itself, the useless partial file is removed before
+        the error propagates, so no unreadable 0-byte container is left
+        behind.
         """
         if self._closed:
             return self.stats
@@ -173,9 +182,11 @@ class StreamingWriter:
             self._flush()
         if self._sessions is None:
             self._release()
+            self._discard_partial_file()
             raise CompressionError("cannot finalize an empty stream")
         start = time.perf_counter()
-        self._collect(block=True)
+        with get_recorder().timer("stream.close_drain"):
+            self._collect(block=True)
         self.stats.compress_seconds += time.perf_counter() - start
         self._offset += fmt.write_footer(
             self._fh, self._chunks, self.stats.snapshots, self._offset
@@ -219,6 +230,15 @@ class StreamingWriter:
         if self._owns_fh:
             self._fh.close()
 
+    def _discard_partial_file(self) -> None:
+        """Remove an owned output file that never received valid content."""
+        if not (self._owns_fh and self._path is not None):
+            return
+        try:
+            self._path.unlink()
+        except OSError as exc:
+            get_recorder().event("stream.writer.unlink_failed", repr(exc))
+
     def _start(self, batch: np.ndarray) -> None:
         """First flush: resolve bounds, open sessions, write the header."""
         n_atoms, n_axes = self._shape
@@ -249,6 +269,7 @@ class StreamingWriter:
         )
 
     def _flush(self) -> None:
+        recorder = get_recorder()
         start = time.perf_counter()
         batch = np.stack(self._buffer)  # (B, N, axes)
         self._buffer.clear()
@@ -287,10 +308,14 @@ class StreamingWriter:
         self._buffer_index += 1
         self.stats.buffers += 1
         self._collect(block=False)
-        self.stats.compress_seconds += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self.stats.compress_seconds += elapsed
+        if recorder.enabled:
+            recorder.observe("stream.flush", elapsed)
 
     def _collect(self, block: bool) -> None:
         """Append chunk frames for every completed compression job."""
+        recorder = get_recorder()
         results = self._executor.drain() if block else self._executor.ready()
         for blob in results:
             meta = self._pending.popleft()
@@ -305,4 +330,10 @@ class StreamingWriter:
             self._chunks.append(entry)
             self._offset += written
             self.stats.chunks += 1
+            if recorder.enabled:
+                recorder.count("stream.chunks_written")
+                recorder.count("stream.chunk_bytes", written)
+        if recorder.enabled:
+            # Chunks compressed (or in flight) but not yet on disk.
+            recorder.gauge("stream.queue_depth", len(self._pending))
         self.stats.bytes_written = self._offset

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..exceptions import DecompressionError
 from ..serde import BlobReader, BlobWriter
+from ..telemetry import get_recorder
 from .bitio import pack_codes
 
 #: Hard cap on Huffman code length.  Chosen so the flat decode table is at
@@ -145,58 +146,82 @@ class HuffmanCodec:
         arr = np.asarray(values)
         if not np.issubdtype(arr.dtype, np.integer):
             raise TypeError("HuffmanCodec encodes integer arrays only")
+        recorder = get_recorder()
+        dtype_tag = arr.dtype.str
         flat = arr.astype(np.int64, copy=False).ravel()
         writer = BlobWriter()
         if flat.size == 0:
-            writer.write_json({"n": 0})
+            writer.write_json({"n": 0, "dt": dtype_tag})
             return writer.getvalue()
-        symbols, inverse = np.unique(flat, return_inverse=True)
-        counts = np.bincount(inverse, minlength=symbols.size)
-        lengths = code_lengths(counts)
-        codes = canonical_codes(lengths)
-        payload = pack_codes(codes[inverse], lengths[inverse])
-        dense_base: int | None = None
-        if alphabet_hint is not None:
-            lo, hi = int(symbols.min()), int(symbols.max())
-            if hi - lo < alphabet_hint:
-                dense_base = lo
-        writer.write_json({"n": int(flat.size), "dense": dense_base})
-        if dense_base is None:
-            writer.write_array(_compact_symbols(symbols))
-            writer.write_array(lengths.astype(np.uint8))
-        else:
-            dense = np.zeros(int(alphabet_hint), dtype=np.uint8)
-            dense[symbols - dense_base] = lengths
-            writer.write_array(dense)
-        writer.write_bytes(payload)
-        return writer.getvalue()
+        with recorder.timer("sz.huffman.encode"):
+            symbols, inverse = np.unique(flat, return_inverse=True)
+            counts = np.bincount(inverse, minlength=symbols.size)
+            lengths = code_lengths(counts)
+            codes = canonical_codes(lengths)
+            payload = pack_codes(codes[inverse], lengths[inverse])
+            dense_base: int | None = None
+            if alphabet_hint is not None:
+                lo, hi = int(symbols.min()), int(symbols.max())
+                if hi - lo < alphabet_hint:
+                    dense_base = lo
+            writer.write_json(
+                {"n": int(flat.size), "dense": dense_base, "dt": dtype_tag}
+            )
+            if dense_base is None:
+                writer.write_array(_compact_symbols(symbols))
+                writer.write_array(lengths.astype(np.uint8))
+            else:
+                dense = np.zeros(int(alphabet_hint), dtype=np.uint8)
+                dense[symbols - dense_base] = lengths
+                writer.write_array(dense)
+            writer.write_bytes(payload)
+        blob = writer.getvalue()
+        if recorder.enabled:
+            recorder.count("sz.huffman.encode.symbols", flat.size)
+            recorder.count("sz.huffman.encode.alphabet", symbols.size)
+            recorder.count("sz.huffman.encode.bytes", len(blob))
+        return blob
 
     @staticmethod
     def decode(blob: bytes) -> np.ndarray:
-        """Decode a blob produced by :meth:`encode` back to int64 values."""
+        """Decode a blob produced by :meth:`encode`.
+
+        The symbol dtype recorded at encode time is restored, so an
+        ``int32`` array comes back ``int32``; blobs written before the
+        dtype tag existed decode as ``int64`` (the historical behaviour).
+        """
+        recorder = get_recorder()
         reader = BlobReader(blob)
         meta = reader.read_json()
         n = int(meta["n"])
+        dtype = np.dtype(str(meta.get("dt", "<i8")))
         if n == 0:
-            return np.empty(0, dtype=np.int64)
-        dense_base = meta.get("dense")
-        if dense_base is None:
-            symbols = reader.read_array().astype(np.int64)
-            lengths = reader.read_array().astype(np.int64)
-        else:
-            dense = reader.read_array().astype(np.int64)
-            present = np.nonzero(dense)[0]
-            symbols = present + int(dense_base)
-            lengths = dense[present]
-        payload = reader.read_bytes()
-        if symbols.size == 1:
-            # Degenerate single-symbol alphabet: the 1-bit codes carry no
-            # information beyond the count.
-            return np.full(n, symbols[0], dtype=np.int64)
-        codes = canonical_codes(lengths)
-        max_len = int(lengths.max())
-        table_sym, table_len = _build_flat_table(symbols, lengths, codes, max_len)
-        return _decode_stream(payload, n, table_sym, table_len, max_len)
+            return np.empty(0, dtype=dtype)
+        with recorder.timer("sz.huffman.decode"):
+            dense_base = meta.get("dense")
+            if dense_base is None:
+                symbols = reader.read_array().astype(np.int64)
+                lengths = reader.read_array().astype(np.int64)
+            else:
+                dense = reader.read_array().astype(np.int64)
+                present = np.nonzero(dense)[0]
+                symbols = present + int(dense_base)
+                lengths = dense[present]
+            payload = reader.read_bytes()
+            if symbols.size == 1:
+                # Degenerate single-symbol alphabet: the 1-bit codes carry
+                # no information beyond the count.
+                out = np.full(n, symbols[0], dtype=np.int64)
+            else:
+                codes = canonical_codes(lengths)
+                max_len = int(lengths.max())
+                table_sym, table_len = _build_flat_table(
+                    symbols, lengths, codes, max_len
+                )
+                out = _decode_stream(payload, n, table_sym, table_len, max_len)
+        if recorder.enabled:
+            recorder.count("sz.huffman.decode.symbols", n)
+        return out.astype(dtype, copy=False)
 
 
 def _compact_symbols(symbols: np.ndarray) -> np.ndarray:

@@ -18,6 +18,7 @@ import lzma
 import zlib
 
 from ..exceptions import DecompressionError
+from ..telemetry import get_recorder
 
 #: backend name -> (id byte, compress fn, decompress fn)
 _BACKENDS = {
@@ -55,7 +56,13 @@ def lossless_compress(
             f"unknown lossless backend {backend!r}; "
             f"choose from {available_backends()}"
         ) from None
-    return bytes([ident]) + comp(data, level)
+    recorder = get_recorder()
+    with recorder.timer("sz.lossless.compress"):
+        blob = bytes([ident]) + comp(data, level)
+    if recorder.enabled:
+        recorder.count("sz.lossless.bytes_in", len(data))
+        recorder.count("sz.lossless.bytes_out", len(blob))
+    return blob
 
 
 def lossless_decompress(blob: bytes) -> bytes:
@@ -68,6 +75,7 @@ def lossless_decompress(blob: bytes) -> bytes:
     except KeyError:
         raise DecompressionError(f"unknown lossless backend id {ident}") from None
     try:
-        return dec(blob[1:])
+        with get_recorder().timer("sz.lossless.decompress"):
+            return dec(blob[1:])
     except Exception as exc:
         raise DecompressionError(f"lossless payload corrupt: {exc}") from exc

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..exceptions import DecompressionError
 from ..serde import BlobReader, BlobWriter
+from ..telemetry import get_recorder
 from .bitio import decode_varints, encode_varints, zigzag_decode, zigzag_encode
 from .huffman import HuffmanCodec
 from .quantizer import QuantizedBlock
@@ -52,7 +53,12 @@ def encode_int_stream(
     )
     flat = block.codes.ravel(order=layout)
     writer.write_bytes(HuffmanCodec.encode(flat, alphabet_hint=alphabet_hint))
-    writer.write_bytes(encode_varints(zigzag_encode(block.wide)))
+    side = encode_varints(zigzag_encode(block.wide))
+    writer.write_bytes(side)
+    recorder = get_recorder()
+    if recorder.enabled:
+        recorder.count("sz.oos.points", block.wide.size)
+        recorder.count("sz.oos.bytes", len(side))
     return writer.getvalue()
 
 

@@ -1,0 +1,66 @@
+"""Zero-dependency metrics/tracing layer for the compression pipeline.
+
+The paper's Section III pipeline — prediction, quantization, Huffman,
+trailing dictionary coder — is modular, and after the streaming subsystem
+made it parallel, the only way to tune it is to *see* it: where the bytes
+of a container come from and where the wall-clock goes, stage by stage.
+This package provides that visibility without adding a dependency or a
+cost when disabled:
+
+* :class:`Recorder` — the protocol: ``count`` (monotonic counters),
+  ``gauge`` (latest-value gauges), ``timer`` (monotonic-clock stage
+  timers as context managers), ``event`` (bounded log of noteworthy
+  occurrences), ``snapshot`` (a JSON-serializable dict of everything);
+* :class:`NullRecorder` — the default no-op implementation; the hot path
+  pays one attribute lookup and an empty call, nothing else;
+* :class:`MetricsRecorder` — the collecting implementation;
+* :func:`get_recorder` / :func:`set_recorder` / :func:`recording` — the
+  module-global active-recorder slot, so instrumentation points fetch
+  the recorder at call time instead of threading it through every
+  constructor.
+
+Metric names are dotted paths grouped by subsystem:
+
+========================  =====================================================
+prefix                    meaning
+========================  =====================================================
+``sz.huffman.*``          entropy-coding stage (symbols, bytes, encode/decode)
+``sz.oos.*``              out-of-scope side channel (points, varint bytes)
+``sz.lossless.*``         trailing dictionary coder (bytes in/out, timings)
+``mdz.*``                 per-buffer front end (method choice, buffer count)
+``adp.*``                 adaptive selection (trials, winners, trial sizes)
+``stream.*``              streaming writer (flushes, chunks, queue depth)
+``stream.executor.*``     worker pool (dispatch/inline/fallback, teardown)
+========================  =====================================================
+
+Typical use::
+
+    from repro import MDZ, MDZConfig
+    from repro.telemetry import recording
+
+    with recording() as rec:
+        blob = MDZ(MDZConfig()).compress(positions)
+    print(rec.snapshot()["timers"])
+
+The CLI exposes the same data as ``mdz stats`` and ``--metrics-json``.
+"""
+
+from .recorder import (
+    MetricsRecorder,
+    NullRecorder,
+    NULL_RECORDER,
+    Recorder,
+    get_recorder,
+    recording,
+    set_recorder,
+)
+
+__all__ = [
+    "MetricsRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "Recorder",
+    "get_recorder",
+    "recording",
+    "set_recorder",
+]

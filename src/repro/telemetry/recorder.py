@@ -1,0 +1,253 @@
+"""Recorder implementations: the no-op default and the metrics collector.
+
+Two recorders implement the same small surface (see the package docstring
+for the metric taxonomy):
+
+* :class:`NullRecorder` — every method is a no-op and ``timer`` returns a
+  shared do-nothing context manager, so an instrumented hot path costs one
+  attribute lookup and one call when telemetry is off (the default);
+* :class:`MetricsRecorder` — accumulates counters, gauges, stage timers,
+  and a bounded event log under a lock, and serializes the whole state
+  with :meth:`MetricsRecorder.snapshot`.
+
+The active recorder is a module-level slot manipulated with
+:func:`set_recorder` / :func:`recording`; instrumented code fetches it per
+operation via :func:`get_recorder`, so enabling telemetry never requires
+re-plumbing constructor arguments through the pipeline layers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+#: Cap on the retained event log (oldest entries are dropped beyond it).
+MAX_EVENTS = 256
+
+
+class _NullTimer:
+    """Reusable do-nothing context manager for the disabled hot path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class Recorder:
+    """The recorder protocol: counters, gauges, timers, events.
+
+    The base class *is* the no-op implementation — subclasses override
+    whatever they collect.  Metric names are dotted paths grouped by
+    subsystem (``sz.huffman.encode``, ``stream.executor.dispatched``);
+    the convention keeps :meth:`snapshot` output self-organizing.
+    """
+
+    #: True when this recorder actually stores anything.  Instrumented
+    #: code may use it to skip building expensive metric inputs.
+    enabled: bool = False
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the counter ``name`` (monotonic within a run)."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to its latest observed ``value``."""
+
+    def timer(self, name: str):
+        """Context manager timing one stage run under ``name``."""
+        return _NULL_TIMER
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Fold one externally measured interval into timer ``name``."""
+
+    def event(self, name: str, detail: str = "") -> None:
+        """Record a discrete noteworthy occurrence (error, fallback)."""
+
+    def snapshot(self) -> dict:
+        """Serializable view of everything recorded so far."""
+        return {"enabled": False, "counters": {}, "gauges": {}, "timers": {}, "events": []}
+
+
+class NullRecorder(Recorder):
+    """The default recorder: records nothing, costs (almost) nothing."""
+
+
+#: Shared no-op instance installed by default.
+NULL_RECORDER = NullRecorder()
+
+
+class _StageTimer:
+    """Context manager feeding one monotonic-clock interval to a recorder."""
+
+    __slots__ = ("_recorder", "_name", "_start")
+
+    def __init__(self, recorder: "MetricsRecorder", name: str) -> None:
+        self._recorder = recorder
+        self._name = name
+
+    def __enter__(self) -> "_StageTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._recorder.observe(
+            self._name, time.perf_counter() - self._start
+        )
+        return None
+
+
+class MetricsRecorder(Recorder):
+    """In-memory metrics collector with a dict :meth:`snapshot`.
+
+    Thread-safe: the streaming writer's producer thread and any analysis
+    thread reading :meth:`snapshot` mid-run see consistent totals.  All
+    storage is plain dicts, so a snapshot is JSON-serializable as-is.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        #: name -> [call count, total seconds]
+        self._timers: dict[str, list] = {}
+        self._events: deque[dict] = deque(maxlen=MAX_EVENTS)
+
+    # -- recording ------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(n)
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def timer(self, name: str) -> _StageTimer:
+        return _StageTimer(self, name)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Fold one timed interval into the stage timer ``name``."""
+        with self._lock:
+            cell = self._timers.get(name)
+            if cell is None:
+                self._timers[name] = [1, float(seconds)]
+            else:
+                cell[0] += 1
+                cell[1] += float(seconds)
+
+    def event(self, name: str, detail: str = "") -> None:
+        with self._lock:
+            self._events.append({"name": name, "detail": str(detail)})
+        self.count(f"events.{name}")
+
+    # -- reading --------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """Current value of one counter (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def stage_seconds(self, name: str) -> float:
+        """Total seconds accumulated under one stage timer."""
+        with self._lock:
+            cell = self._timers.get(name)
+            return 0.0 if cell is None else cell[1]
+
+    def snapshot(self) -> dict:
+        """Everything recorded so far, as a JSON-serializable dict."""
+        with self._lock:
+            return {
+                "enabled": True,
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "timers": {
+                    name: {"count": cell[0], "seconds": cell[1]}
+                    for name, cell in sorted(self._timers.items())
+                },
+                "events": list(self._events),
+            }
+
+    def merge(self, other: dict) -> None:
+        """Fold another recorder's :meth:`snapshot` into this one.
+
+        Counters and timers add; gauges take the other side's value
+        (it is newer); events append.  Used to aggregate worker-side
+        snapshots into the session recorder.
+        """
+        for name, n in other.get("counters", {}).items():
+            self.count(name, n)
+        for name, value in other.get("gauges", {}).items():
+            self.gauge(name, value)
+        for name, cell in other.get("timers", {}).items():
+            with self._lock:
+                mine = self._timers.get(name)
+                if mine is None:
+                    self._timers[name] = [int(cell["count"]), float(cell["seconds"])]
+                else:
+                    mine[0] += int(cell["count"])
+                    mine[1] += float(cell["seconds"])
+        with self._lock:
+            self._events.extend(other.get("events", ()))
+
+    def reset(self) -> None:
+        """Drop everything recorded so far."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+            self._events.clear()
+
+
+# -- the active recorder slot -------------------------------------------
+
+_active: Recorder = NULL_RECORDER
+_active_lock = threading.Lock()
+
+
+def get_recorder() -> Recorder:
+    """The currently active recorder (the no-op one by default)."""
+    return _active
+
+
+def set_recorder(recorder: Recorder | None) -> Recorder:
+    """Install ``recorder`` (``None`` = disable); returns the previous one."""
+    global _active
+    with _active_lock:
+        previous = _active
+        _active = recorder if recorder is not None else NULL_RECORDER
+    return previous
+
+
+def recording(recorder: MetricsRecorder | None = None):
+    """Context manager: install a recorder for the enclosed block.
+
+    >>> from repro.telemetry import recording
+    >>> with recording() as rec:
+    ...     ...  # compress something
+    >>> rec.snapshot()["counters"]  # doctest: +SKIP
+    """
+    return _Recording(recorder)
+
+
+class _Recording:
+    __slots__ = ("_recorder", "_previous")
+
+    def __init__(self, recorder: MetricsRecorder | None) -> None:
+        self._recorder = recorder if recorder is not None else MetricsRecorder()
+
+    def __enter__(self) -> MetricsRecorder:
+        self._previous = set_recorder(self._recorder)
+        return self._recorder
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        set_recorder(self._previous)
+        return None

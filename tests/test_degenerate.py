@@ -1,0 +1,209 @@
+"""Degenerate-input matrix: the inputs production traffic hits on day one.
+
+Constant data, single snapshot, single atom, huge value ranges, NaN/Inf
+trajectories, empty symbol arrays through the Huffman codec, trailing
+partial buffers and never-fed streams through the streaming writer.  The
+NaN/Inf, Huffman-dtype, and partial-file cases are regression tests for
+bugs fixed in this tree — each failed before the fix.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.baselines.api import SessionMeta
+from repro.core.config import MDZConfig
+from repro.core.mdz import MDZ, MDZAxisCompressor
+from repro.exceptions import CompressionError
+from repro.serde import BlobWriter
+from repro.stream import StreamingReader, StreamingWriter, stream_compress
+from repro.sz.huffman import HuffmanCodec
+
+
+def _roundtrip(positions: np.ndarray, config: MDZConfig):
+    mdz = MDZ(config)
+    blob = mdz.compress(positions)
+    return mdz.decompress(blob), blob
+
+
+class TestDegenerateShapes:
+    def test_constant_trajectory(self):
+        positions = np.full((6, 40, 3), 2.5)
+        out, blob = _roundtrip(positions, MDZConfig(buffer_size=4))
+        # Zero value range: any positive bound preserves the data exactly.
+        assert np.abs(out - positions).max() <= 1e-3
+        assert len(blob) < 6 * 40 * 3 * 4
+
+    def test_single_snapshot(self):
+        rng = np.random.default_rng(7)
+        positions = rng.normal(0, 1, (1, 50, 3))
+        out, _ = _roundtrip(positions, MDZConfig())
+        bound = 1e-3 * (positions.max(axis=(0, 1)) - positions.min(axis=(0, 1)))
+        assert (np.abs(out - positions).max(axis=(0, 1)) <= bound * (1 + 1e-9)).all()
+
+    def test_single_atom(self):
+        rng = np.random.default_rng(8)
+        positions = np.cumsum(rng.normal(0, 0.1, (20, 1, 3)), axis=0)
+        out, _ = _roundtrip(positions, MDZConfig(buffer_size=5))
+        for a in range(3):
+            bound = 1e-3 * (
+                positions[:, :, a].max() - positions[:, :, a].min()
+            )
+            assert np.abs(out[:, :, a] - positions[:, :, a]).max() <= bound * (
+                1 + 1e-9
+            )
+
+    def test_huge_value_range(self):
+        rng = np.random.default_rng(9)
+        positions = rng.uniform(0.0, 1e30, (8, 30, 3))
+        out, _ = _roundtrip(positions, MDZConfig(buffer_size=4))
+        for a in range(3):
+            axis = positions[:, :, a]
+            bound = 1e-3 * (axis.max() - axis.min())
+            assert np.isfinite(out[:, :, a]).all()
+            assert np.abs(out[:, :, a] - axis).max() <= bound * (1 + 1e-9)
+
+    def test_streaming_constant_and_single_snapshot(self):
+        sink = io.BytesIO()
+        stats = stream_compress(
+            np.full((1, 25, 3), 1.0), sink, MDZConfig(buffer_size=10)
+        )
+        assert stats.snapshots == 1
+        out = StreamingReader(sink.getvalue()).read_all()
+        assert out.shape == (1, 25, 3)
+        assert np.abs(out - 1.0).max() <= 1e-3
+
+
+class TestNonFiniteInput:
+    """Regression: NaN trajectories used to die with a misleading
+    ``ConfigurationError: error bound must be a positive finite number``."""
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_mdz_compress_rejects(self, bad):
+        positions = np.zeros((4, 10, 3))
+        positions[1, 2, 0] = bad
+        with pytest.raises(CompressionError, match="non-finite"):
+            MDZ(MDZConfig()).compress(positions)
+
+    def test_axis_compressor_batch_rejects(self):
+        session = MDZAxisCompressor(MDZConfig(method="vq"))
+        session.begin(0.01, SessionMeta(n_atoms=5))
+        batch = np.zeros((2, 5))
+        batch[0, 0] = np.nan
+        with pytest.raises(CompressionError, match="non-finite"):
+            session.compress_batch(batch)
+
+    def test_axis_compressor_begin_rejects_nan_bound(self):
+        # A NaN bound is what a NaN value range resolves to; the error
+        # must be a CompressionError pointing at the input, not a
+        # ConfigurationError about the bound setting.
+        session = MDZAxisCompressor(MDZConfig())
+        with pytest.raises(CompressionError, match="not finite"):
+            session.begin(float("nan"), SessionMeta(n_atoms=5))
+
+    def test_streaming_feed_rejects(self, tmp_path):
+        snapshot = np.zeros((10, 3))
+        snapshot[3, 1] = np.inf
+        writer = StreamingWriter(io.BytesIO(), MDZConfig())
+        try:
+            with pytest.raises(CompressionError, match="non-finite"):
+                writer.feed(snapshot)
+        finally:
+            writer.abort()
+
+
+class TestHuffmanDtype:
+    """Regression: ``decode`` returned int64 regardless of input dtype."""
+
+    @pytest.mark.parametrize(
+        "dtype", [np.int8, np.int16, np.int32, np.int64, np.uint8, np.uint16]
+    )
+    def test_dtype_round_trip(self, dtype):
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 100, 500).astype(dtype)
+        out = HuffmanCodec.decode(HuffmanCodec.encode(values))
+        assert out.dtype == np.dtype(dtype)
+        assert np.array_equal(out, values)
+
+    @pytest.mark.parametrize("dtype", [np.int16, np.int32, np.int64])
+    def test_empty_array_round_trip(self, dtype):
+        out = HuffmanCodec.decode(HuffmanCodec.encode(np.empty(0, dtype=dtype)))
+        assert out.size == 0
+        assert out.dtype == np.dtype(dtype)
+
+    def test_single_symbol_keeps_dtype(self):
+        values = np.full(64, -3, dtype=np.int32)
+        out = HuffmanCodec.decode(HuffmanCodec.encode(values))
+        assert out.dtype == np.int32
+        assert np.array_equal(out, values)
+
+    def test_legacy_blob_without_dtype_tag_decodes_int64(self):
+        # Blobs written before the dtype tag: header JSON has no "dt".
+        writer = BlobWriter()
+        writer.write_json({"n": 0})
+        out = HuffmanCodec.decode(writer.getvalue())
+        assert out.size == 0
+        assert out.dtype == np.int64
+
+
+class TestStreamingWriterLifecycle:
+    """Regression: a failed ``close()`` left a 0-byte file that the reader
+    then rejected with ``bad container magic b''``."""
+
+    def test_never_fed_close_removes_owned_file(self, tmp_path):
+        path = tmp_path / "empty.mdz"
+        writer = StreamingWriter(path, MDZConfig())
+        with pytest.raises(CompressionError, match="empty stream"):
+            writer.close()
+        assert not path.exists()
+
+    def test_close_idempotent_after_failure(self, tmp_path):
+        writer = StreamingWriter(tmp_path / "empty.mdz", MDZConfig())
+        with pytest.raises(CompressionError):
+            writer.close()
+        # Later calls return the (empty) stats instead of raising again.
+        assert writer.close().snapshots == 0
+
+    def test_never_fed_close_keeps_caller_owned_handle(self):
+        sink = io.BytesIO()
+        writer = StreamingWriter(sink, MDZConfig())
+        with pytest.raises(CompressionError, match="empty stream"):
+            writer.close()
+        # The writer does not own the file object: it must stay open and
+        # untouched for the caller to deal with.
+        assert not sink.closed
+        assert sink.getvalue() == b""
+
+    def test_context_manager_never_fed(self, tmp_path):
+        path = tmp_path / "empty.mdz"
+        with pytest.raises(CompressionError, match="empty stream"):
+            with StreamingWriter(path, MDZConfig()):
+                pass
+        assert not path.exists()
+
+    def test_trailing_partial_buffer(self, tmp_path):
+        rng = np.random.default_rng(11)
+        trajectory = np.cumsum(rng.normal(0, 0.05, (7, 20, 3)), axis=0)
+        path = tmp_path / "partial.mdz"
+        with StreamingWriter(path, MDZConfig(buffer_size=5)) as writer:
+            for snapshot in trajectory:
+                writer.feed(snapshot)
+            stats = writer.close()
+        assert stats.buffers == 2  # 5 + 2
+        reader = StreamingReader(path.read_bytes())
+        assert reader.snapshots == 7
+        out = reader.read_all()
+        assert out.shape == trajectory.shape
+        for a in range(3):
+            err = np.abs(out[:, :, a] - trajectory[:, :, a]).max()
+            assert err <= reader.error_bounds[a] * (1 + 1e-9)
+
+    def test_partial_buffer_only(self, tmp_path):
+        # Fewer snapshots than one buffer: close() must still flush them.
+        rng = np.random.default_rng(12)
+        trajectory = rng.normal(0, 1, (3, 15, 3))
+        sink = io.BytesIO()
+        stats = stream_compress(trajectory, sink, MDZConfig(buffer_size=10))
+        assert stats.buffers == 1
+        assert StreamingReader(sink.getvalue()).read_all().shape == (3, 15, 3)
