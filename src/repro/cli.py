@@ -120,6 +120,7 @@ def _config_from_args(args: argparse.Namespace) -> MDZConfig:
         method=args.method,
         sequence_mode=args.sequence,
         quantization_scale=args.scale,
+        entropy_streams=getattr(args, "entropy_streams", None),
     )
 
 
@@ -350,6 +351,15 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--sequence", choices=("seq1", "seq2"), default="seq2")
         p.add_argument("--scale", type=int, default=1024)
+        p.add_argument(
+            "--entropy-streams",
+            type=int,
+            default=None,
+            metavar="N",
+            help="Huffman sub-stream fan-out: 1 = legacy single-stream "
+            "blobs, N > 1 = that many interleaved H2 streams "
+            "(default: auto-scale with array size)",
+        )
         p.add_argument(
             "--metrics-json",
             metavar="PATH",

@@ -50,6 +50,12 @@ class MDZConfig:
         Trailing dictionary coder (``"zlib"``, ``"lzma"``, ``"bz2"``).
     level_seed:
         Seed for the k-means sampling in the level detector.
+    entropy_streams:
+        Huffman sub-stream fan-out for the entropy stage.  ``None``
+        (default) lets the codec scale the count with the array size;
+        ``1`` forces the legacy single-stream blob format; larger values
+        force that many interleaved H2 streams — see
+        :meth:`repro.sz.huffman.HuffmanCodec.encode`.
     """
 
     error_bound: float = 1e-3
@@ -61,6 +67,7 @@ class MDZConfig:
     adaptation_interval: int = 50
     lossless_backend: str = "zlib"
     level_seed: int = 0
+    entropy_streams: int | None = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -101,6 +108,11 @@ class MDZConfig:
         if self.adaptation_interval < 1:
             raise ConfigurationError(
                 f"adaptation_interval must be >= 1, got {self.adaptation_interval}"
+            )
+        if self.entropy_streams is not None and self.entropy_streams < 1:
+            raise ConfigurationError(
+                f"entropy_streams must be >= 1 (or None for auto), "
+                f"got {self.entropy_streams}"
             )
 
     @property

@@ -72,6 +72,7 @@ class MDZAxisCompressor(Compressor):
             levels=SessionLevelModel(seed=self.config.level_seed),
             reference=None,
             lossless_backend=self.config.lossless_backend,
+            entropy_streams=self.config.entropy_streams,
         )
         self._selector = ADPSelector(interval=self.config.adaptation_interval)
 

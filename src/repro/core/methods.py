@@ -45,6 +45,9 @@ class MethodState:
         snapshot from it.
     lossless_backend:
         Name of the trailing dictionary coder.
+    entropy_streams:
+        Huffman sub-stream fan-out handed to the entropy stage
+        (``None`` = auto-scale with array size).
     """
 
     quantizer: LinearQuantizer
@@ -52,6 +55,7 @@ class MethodState:
     levels: SessionLevelModel = field(default_factory=SessionLevelModel)
     reference: np.ndarray | None = None
     lossless_backend: str = "zlib"
+    entropy_streams: int | None = None
 
     def clone_for_trial(self) -> "MethodState":
         """A shallow trial copy: shares the level model (it is immutable
@@ -63,6 +67,7 @@ class MethodState:
             levels=self.levels,
             reference=None if self.reference is None else self.reference.copy(),
             lossless_backend=self.lossless_backend,
+            entropy_streams=self.entropy_streams,
         )
 
 

@@ -49,7 +49,10 @@ class MTMethod(MDZMethod):
             writer.write_json({"anchor": anchor})
             writer.write_bytes(
                 encode_int_stream(
-                    block, "C", alphabet_hint=state.quantizer.scale + 1
+                    block,
+                    "C",
+                    alphabet_hint=state.quantizer.scale + 1,
+                    streams=state.entropy_streams,
                 )
             )
             recon[0] = lorenzo_1d_reconstruct(block, state.quantizer, anchor)
@@ -57,7 +60,10 @@ class MTMethod(MDZMethod):
             block = reference_codes(batch[0], state.quantizer, state.reference)
             writer.write_bytes(
                 encode_int_stream(
-                    block, "C", alphabet_hint=state.quantizer.scale + 1
+                    block,
+                    "C",
+                    alphabet_hint=state.quantizer.scale + 1,
+                    streams=state.entropy_streams,
                 )
             )
             recon[0] = reference_reconstruct(
@@ -70,6 +76,7 @@ class MTMethod(MDZMethod):
                     tail,
                     state.layout,
                     alphabet_hint=state.quantizer.scale + 1,
+                    streams=state.entropy_streams,
                 )
             )
             recon[1:] = timewise_reconstruct(tail, state.quantizer, recon[0])

@@ -46,9 +46,18 @@ def vq_encode_array(
     writer.write_json(
         {"lam": fit.lam, "mu": fit.mu, "shape": list(batch.shape)}
     )
-    writer.write_bytes(HuffmanCodec.encode(rel.ravel(order=layout)))
     writer.write_bytes(
-        encode_int_stream(block, layout, alphabet_hint=quantizer.scale + 1)
+        HuffmanCodec.encode(
+            rel.ravel(order=layout), streams=state.entropy_streams
+        )
+    )
+    writer.write_bytes(
+        encode_int_stream(
+            block,
+            layout,
+            alphabet_hint=quantizer.scale + 1,
+            streams=state.entropy_streams,
+        )
     )
     recon = _reconstruct(block, levels, fit, state)
     return writer.getvalue(), recon

@@ -39,6 +39,7 @@ class VQTMethod(MDZMethod):
                     block,
                     state.layout,
                     alphabet_hint=state.quantizer.scale + 1,
+                    streams=state.entropy_streams,
                 )
             )
             recon[1:] = timewise_reconstruct(block, state.quantizer, recon[0])

@@ -56,6 +56,7 @@ class AxisJobSpec:
     level_seed: int
     reference: np.ndarray | None
     level_fit: LevelFit | None
+    entropy_streams: int | None = None
 
 
 def encode_axis_buffer(spec: AxisJobSpec, batch: np.ndarray) -> bytes:
@@ -74,6 +75,7 @@ def encode_axis_buffer(spec: AxisJobSpec, batch: np.ndarray) -> bytes:
         method=spec.method,
         lossless_backend=spec.lossless_backend,
         level_seed=spec.level_seed,
+        entropy_streams=spec.entropy_streams,
     )
     session = MDZAxisCompressor(config)
     session.begin(spec.error_bound, SessionMeta(n_atoms=spec.n_atoms))

@@ -299,6 +299,7 @@ class StreamingWriter:
                     # otherwise (it is one full snapshot per job).
                     reference=reference if method == "mt" else None,
                     level_fit=level_fit,
+                    entropy_streams=self.config.entropy_streams,
                 )
                 session.note_external_buffer()
                 self._executor.submit(encode_axis_buffer, spec, axis_batch)

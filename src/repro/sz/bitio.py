@@ -169,15 +169,41 @@ def decode_varints(data: bytes, count: int) -> np.ndarray:
 
 
 def clz64(u: np.ndarray) -> np.ndarray:
-    """Count leading zeros of uint64 values (vectorized)."""
-    u = u.astype(np.uint64)
-    n = np.full(u.shape, 64, dtype=np.int64)
-    x = u.copy()
-    for shift in (32, 16, 8, 4, 2, 1):
-        mask = x >> np.uint64(shift) != 0
-        n = np.where(mask, n - shift, n)
-        x = np.where(mask, x >> np.uint64(shift), x)
-    return np.where(u == 0, 64, n - 1)
+    """Count leading zeros of uint64 values (vectorized).
+
+    Implemented with one ``frexp`` call: the float64 exponent of ``u`` is
+    the bit length, except that rounding to 53 bits of mantissa can push a
+    value just below ``2**k`` up to exactly ``2**k`` (overstating the bit
+    length by one).  A single shift test detects and undoes that, so the
+    result is exact over the full uint64 range — including ``2**64 - 1``,
+    which rounds to ``2**64`` (exponent 65, clamped before the check).
+    """
+    u = np.asarray(u).astype(np.uint64)
+    _, exponent = np.frexp(u.astype(np.float64))
+    bit_length = np.minimum(exponent.astype(np.int64), 64)
+    shift = np.where(bit_length > 0, bit_length - 1, 0).astype(np.uint64)
+    overshoot = (bit_length > 0) & ((u >> shift) == 0)
+    return 64 - (bit_length - overshoot.astype(np.int64))
+
+
+#: Symbols per chunk in :func:`pack_codes`.  Bounds the transient
+#: ``chunk x max_len`` bit-expansion matrix (~8 MB at 64 Ki symbols and
+#: 16-bit codes) no matter how large the input array is.
+PACK_CHUNK = 1 << 16
+
+
+def _code_bits(codes: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Expand one chunk of (code, length) pairs into a flat 0/1 bit array."""
+    max_len = int(lengths.max())
+    if max_len == 0:
+        return np.empty(0, dtype=np.uint8)
+    # bit k of symbol i (MSB first within the code) lives at column
+    # max_len - lengths[i] + k ... simpler: left-align codes to max_len.
+    aligned = codes << (max_len - lengths).astype(np.uint64)
+    cols = np.arange(max_len, dtype=np.uint64)
+    bits = (aligned[:, None] >> (np.uint64(max_len - 1) - cols)[None, :]) & np.uint64(1)
+    valid = cols[None, :] < lengths[:, None].astype(np.uint64)
+    return bits[valid].astype(np.uint8)
 
 
 def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> bytes:
@@ -188,27 +214,30 @@ def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> bytes:
     codes:
         Unsigned integer code values, one per symbol, right-aligned.
     lengths:
-        Bit length of each code; must satisfy ``1 <= length <= 57``.
+        Bit length of each code; must satisfy ``0 <= length <= 57``.  A
+        zero-length entry contributes no bits (the multi-stream Huffman
+        framer uses them as byte-alignment placeholders).
 
-    The implementation expands every code into its individual bits with
-    numpy broadcasting and then compacts the valid bits with
-    :func:`numpy.packbits`, so the cost is O(total bits) with no Python loop.
+    The implementation expands codes into individual bits with numpy
+    broadcasting and compacts them with :func:`numpy.packbits`, processed
+    in :data:`PACK_CHUNK`-symbol chunks so the bit-expansion temporary is
+    bounded regardless of array size.
     """
     codes = np.asarray(codes, dtype=np.uint64)
     lengths = np.asarray(lengths, dtype=np.int64)
     if codes.size == 0:
         return b""
-    max_len = int(lengths.max())
-    if max_len > 57:
+    if int(lengths.min()) < 0:
+        raise ValueError("code lengths must be non-negative")
+    if int(lengths.max()) > 57:
         raise ValueError("pack_codes supports code lengths up to 57 bits")
-    # bit k of symbol i (MSB first within the code) lives at column
-    # max_len - lengths[i] + k ... simpler: left-align codes to max_len.
-    aligned = codes << (max_len - lengths).astype(np.uint64)
-    cols = np.arange(max_len, dtype=np.uint64)
-    bits = (aligned[:, None] >> (np.uint64(max_len - 1) - cols)[None, :]) & np.uint64(1)
-    valid = cols[None, :] < lengths[:, None].astype(np.uint64)
-    flat = bits[valid].astype(np.uint8)
-    return np.packbits(flat).tobytes()
+    if codes.size <= PACK_CHUNK:
+        return np.packbits(_code_bits(codes, lengths)).tobytes()
+    pieces = [
+        _code_bits(codes[i : i + PACK_CHUNK], lengths[i : i + PACK_CHUNK])
+        for i in range(0, codes.size, PACK_CHUNK)
+    ]
+    return np.packbits(np.concatenate(pieces)).tobytes()
 
 
 def unpack_bits(data: bytes) -> np.ndarray:

@@ -30,6 +30,7 @@ def encode_int_stream(
     block: QuantizedBlock,
     layout: str = "C",
     alphabet_hint: int | None = None,
+    streams: int | None = None,
 ) -> bytes:
     """Serialize a quantized block (codes + out-of-scope literals).
 
@@ -37,7 +38,8 @@ def encode_int_stream(
     entropy coding: ``"C"`` = Seq-1 (snapshot-major), ``"F"`` = Seq-2
     (particle-major).  ``alphabet_hint`` (typically ``scale + 1``) makes
     the Huffman stage use SZ's dense codebook representation — see
-    :meth:`repro.sz.huffman.HuffmanCodec.encode`.
+    :meth:`repro.sz.huffman.HuffmanCodec.encode`.  ``streams`` passes the
+    H2 sub-stream fan-out through to the Huffman stage (``None`` = auto).
     """
     if layout not in ("C", "F"):
         raise ValueError(f"layout must be 'C' or 'F', got {layout!r}")
@@ -52,7 +54,9 @@ def encode_int_stream(
         }
     )
     flat = block.codes.ravel(order=layout)
-    writer.write_bytes(HuffmanCodec.encode(flat, alphabet_hint=alphabet_hint))
+    writer.write_bytes(
+        HuffmanCodec.encode(flat, alphabet_hint=alphabet_hint, streams=streams)
+    )
     side = encode_varints(zigzag_encode(block.wide))
     writer.write_bytes(side)
     recorder = get_recorder()

@@ -156,3 +156,90 @@ class TestPackCodes:
         assert np.array_equal(
             unpack_bits(b"\xa0"), [1, 0, 1, 0, 0, 0, 0, 0]
         )
+
+
+class TestClz64Boundaries:
+    """Exhaustive boundary coverage for the frexp-based implementation.
+
+    Float64 rounding can push values just below a power of two up to
+    exactly ``2**k``; every such edge (including the extremes 0, 1,
+    ``2**63`` and ``2**64 - 1``) must still produce an exact count.
+    """
+
+    def test_required_extremes(self):
+        x = np.array([0, 1, 2**63, 2**64 - 1], dtype=np.uint64)
+        assert np.array_equal(clz64(x), [64, 63, 0, 0])
+
+    def test_all_powers_of_two_and_neighbours(self):
+        values, expected = [], []
+        for k in range(64):
+            p = 1 << k
+            for v in (p - 1, p, p + 1):
+                if 0 < v < 2**64:
+                    values.append(v)
+                    expected.append(64 - v.bit_length())
+        got = clz64(np.array(values, dtype=np.uint64))
+        assert np.array_equal(got, expected)
+
+    def test_all_ones_prefixes(self):
+        # 0b1, 0b11, 0b111, ... — the worst case for mantissa rounding.
+        values = [(1 << k) - 1 for k in range(1, 65)]
+        got = clz64(np.array(values, dtype=np.uint64))
+        assert np.array_equal(got, [64 - v.bit_length() for v in values])
+
+    def test_scalar_and_multidim_inputs(self):
+        assert clz64(np.uint64(255)) == 56
+        arr = np.array([[1, 2], [4, 8]], dtype=np.uint64)
+        assert np.array_equal(clz64(arr), [[63, 62], [61, 60]])
+
+
+class TestPackCodesChunked:
+    def test_crosses_chunk_boundary(self):
+        from repro.sz.bitio import PACK_CHUNK
+
+        rng = np.random.default_rng(17)
+        n = PACK_CHUNK * 2 + 1234
+        lengths = rng.integers(1, 17, n)
+        codes = (
+            rng.integers(0, 2**16, n).astype(np.uint64)
+            & ((np.uint64(1) << lengths.astype(np.uint64)) - np.uint64(1))
+        )
+        packed = pack_codes(codes, lengths)
+        # Reference: pack each half separately at the bit level.
+        w = BitWriter()
+        for c, l in zip(codes[:300].tolist(), lengths[:300].tolist()):
+            w.write(c, l)
+        prefix = w.getvalue()[:-1]  # drop the possibly-padded final byte
+        assert packed[: len(prefix)] == prefix
+        total_bits = int(lengths.sum())
+        assert len(packed) == (total_bits + 7) // 8
+
+    def test_chunk_local_widths(self):
+        from repro.sz.bitio import PACK_CHUNK
+
+        # First chunk all 1-bit codes, second chunk wide codes: the chunked
+        # expansion must not leak one chunk's max_len into the other.
+        lengths = np.concatenate(
+            [np.ones(PACK_CHUNK, dtype=np.int64), np.full(10, 57)]
+        )
+        codes = np.concatenate(
+            [np.ones(PACK_CHUNK, dtype=np.uint64), np.full(10, (1 << 57) - 1, np.uint64)]
+        )
+        packed = pack_codes(codes, lengths)
+        assert len(packed) == (PACK_CHUNK + 10 * 57 + 7) // 8
+        assert packed[: PACK_CHUNK // 8] == b"\xff" * (PACK_CHUNK // 8)
+
+    def test_zero_length_entries_contribute_nothing(self):
+        codes = np.array([0b101, 0, 0b11, 0], dtype=np.uint64)
+        lengths = np.array([3, 0, 2, 0], dtype=np.int64)
+        w = BitWriter()
+        w.write(0b101, 3)
+        w.write(0b11, 2)
+        assert pack_codes(codes, lengths) == w.getvalue()
+
+    def test_all_zero_lengths(self):
+        assert pack_codes(np.zeros(5, np.uint64), np.zeros(5, np.int64)) == b""
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            pack_codes(np.array([1], np.uint64), np.array([-1]))

@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.exceptions import DecompressionError
 from repro.sz.huffman import (
     MAX_CODE_LENGTH,
     HuffmanCodec,
@@ -99,3 +100,345 @@ class TestHuffmanRoundTrip:
     def test_property_round_trip(self, values):
         arr = np.array(values, dtype=np.int64)
         assert np.array_equal(HuffmanCodec.decode(HuffmanCodec.encode(arr)), arr)
+
+
+def _legacy_v1_blob(arr: np.ndarray) -> bytes:
+    """Build a pre-"dt" v1 blob the way the original encoder serialized it."""
+    from repro.serde import BlobWriter
+    from repro.sz.bitio import pack_codes
+    from repro.sz.huffman import _compact_symbols
+
+    writer = BlobWriter()
+    flat = arr.astype(np.int64).ravel()
+    if flat.size == 0:
+        writer.write_json({"n": 0})
+        return writer.getvalue()
+    symbols, inverse = np.unique(flat, return_inverse=True)
+    counts = np.bincount(inverse, minlength=symbols.size)
+    lengths = code_lengths(counts)
+    codes = canonical_codes(lengths)
+    writer.write_json({"n": int(flat.size), "dense": None})
+    writer.write_array(_compact_symbols(symbols))
+    writer.write_array(lengths.astype(np.uint8))
+    writer.write_bytes(pack_codes(codes[inverse], lengths[inverse]))
+    return writer.getvalue()
+
+
+def _deep_codebook(depth: int):
+    """A complete canonical codebook with max code length ``depth``:
+    lengths [1, 2, ..., depth-1, depth, depth] satisfy Kraft exactly."""
+    lengths = np.array(list(range(1, depth)) + [depth, depth], dtype=np.int64)
+    symbols = np.arange(lengths.size, dtype=np.int64)
+    return symbols, lengths
+
+
+def _hand_rolled_blob(
+    symbols, lengths, payload_syms, version=1, n_streams=None, sizes=None,
+    payload=None,
+):
+    """Assemble a Huffman blob from explicit parts (for corruption tests)."""
+    from repro.serde import BlobWriter
+    from repro.sz.bitio import pack_codes
+    from repro.sz.huffman import _compact_symbols, _compact_unsigned, _h2_payload
+
+    codes = canonical_codes(lengths)
+    lut = {int(s): i for i, s in enumerate(symbols)}
+    idx = np.array([lut[int(v)] for v in payload_syms], dtype=np.int64)
+    writer = BlobWriter()
+    meta = {"n": int(len(payload_syms)), "dense": None, "dt": "<i8"}
+    if version == 2:
+        meta["v"] = 2
+        meta["ns"] = int(n_streams)
+    writer.write_json(meta)
+    writer.write_array(_compact_symbols(np.asarray(symbols, dtype=np.int64)))
+    writer.write_array(np.asarray(lengths).astype(np.uint8))
+    if version == 2:
+        if payload is None:
+            payload, auto_sizes = _h2_payload(codes[idx], lengths[idx], n_streams)
+            if sizes is None:
+                sizes = auto_sizes
+        writer.write_array(_compact_unsigned(np.asarray(sizes)))
+        writer.write_bytes(payload)
+    else:
+        if payload is None:
+            payload = pack_codes(codes[idx], lengths[idx])
+        writer.write_bytes(payload)
+    return writer.getvalue()
+
+
+class TestH2RoundTrip:
+    DTYPES = (np.int8, np.int16, np.int32, np.int64, np.uint8, np.uint16)
+
+    @pytest.mark.parametrize("streams", [2, 3, 8, 17, 64, 500])
+    def test_forced_streams_round_trip(self, streams):
+        rng = np.random.default_rng(streams)
+        arr = rng.integers(-50, 50, 4321)
+        blob = HuffmanCodec.encode(arr, streams=streams)
+        assert np.array_equal(HuffmanCodec.decode(blob), arr)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_dtype_preserved(self, dtype):
+        rng = np.random.default_rng(7)
+        arr = rng.integers(0, 100, 9001).astype(dtype)
+        out = HuffmanCodec.decode(HuffmanCodec.encode(arr, streams=16))
+        assert out.dtype == np.dtype(dtype)
+        assert np.array_equal(out, arr)
+
+    @pytest.mark.parametrize("n", [1, 7, 8, 9, 15, 16, 17, 4095, 4096, 4097])
+    def test_trailing_partial_rounds(self, n):
+        # Every remainder class around the stream count boundary.
+        rng = np.random.default_rng(n)
+        arr = rng.integers(0, 9, n)
+        blob = HuffmanCodec.encode(arr, streams=8)
+        assert np.array_equal(HuffmanCodec.decode(blob), arr)
+
+    def test_empty_with_forced_streams(self):
+        blob = HuffmanCodec.encode(np.empty(0, dtype=np.int32), streams=8)
+        out = HuffmanCodec.decode(blob)
+        assert out.size == 0 and out.dtype == np.int32
+
+    def test_single_symbol_alphabet(self):
+        arr = np.full(10007, -3, dtype=np.int64)
+        blob = HuffmanCodec.encode(arr, streams=32)
+        assert np.array_equal(HuffmanCodec.decode(blob), arr)
+
+    def test_auto_path_small_stays_legacy(self):
+        arr = np.arange(100)
+        blob = HuffmanCodec.encode(arr)
+        assert blob == HuffmanCodec.encode(arr, streams=1)
+
+    def test_auto_path_large_uses_h2(self):
+        rng = np.random.default_rng(11)
+        arr = rng.integers(0, 64, 50000)
+        blob = HuffmanCodec.encode(arr)
+        assert blob != HuffmanCodec.encode(arr, streams=1)
+        assert np.array_equal(HuffmanCodec.decode(blob), arr)
+
+    def test_dense_codebook_h2(self):
+        rng = np.random.default_rng(13)
+        arr = rng.integers(0, 1024, 20000)
+        blob = HuffmanCodec.encode(arr, alphabet_hint=1025, streams=64)
+        assert np.array_equal(HuffmanCodec.decode(blob), arr)
+
+    @given(
+        st.lists(st.integers(-(2**31), 2**31), min_size=0, max_size=300),
+        st.integers(2, 40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_round_trip_h2(self, values, streams):
+        arr = np.array(values, dtype=np.int64)
+        blob = HuffmanCodec.encode(arr, streams=streams)
+        assert np.array_equal(HuffmanCodec.decode(blob), arr)
+
+
+class TestBlobCompat:
+    def test_v1_pre_dt_blob_decodes_as_int64(self):
+        rng = np.random.default_rng(5)
+        arr = rng.integers(-20, 20, 5000)
+        out = HuffmanCodec.decode(_legacy_v1_blob(arr))
+        assert out.dtype == np.int64
+        assert np.array_equal(out, arr)
+
+    def test_v1_pre_dt_empty(self):
+        out = HuffmanCodec.decode(_legacy_v1_blob(np.empty(0, dtype=np.int64)))
+        assert out.size == 0 and out.dtype == np.int64
+
+    def test_all_formats_decode_identically(self):
+        rng = np.random.default_rng(6)
+        arr = rng.geometric(0.2, 30000).astype(np.int64)
+        v1 = HuffmanCodec.decode(_legacy_v1_blob(arr))
+        single = HuffmanCodec.decode(HuffmanCodec.encode(arr, streams=1))
+        h2 = HuffmanCodec.decode(HuffmanCodec.encode(arr, streams=128))
+        assert np.array_equal(v1, arr)
+        assert np.array_equal(single, arr)
+        assert np.array_equal(h2, arr)
+
+    def test_streams_1_matches_historical_bytes(self):
+        # The legacy single-stream format is frozen: no "v"/"ns" keys, same
+        # section bytes as the pre-H2 encoder produced.
+        arr = np.arange(-100, 100, dtype=np.int64)
+        blob = HuffmanCodec.encode(arr, streams=1)
+        from repro.serde import BlobReader
+
+        meta = BlobReader(blob).read_json()
+        assert "v" not in meta and "ns" not in meta
+
+
+class TestH2Corruption:
+    def _arr(self):
+        return np.random.default_rng(9).integers(0, 30, 10000)
+
+    def test_truncated_payload_raises(self):
+        symbols, lengths = np.arange(4), np.array([2, 2, 2, 2])
+        blob = _hand_rolled_blob(
+            symbols, lengths, self._arr() % 4, version=2, n_streams=8
+        )
+        from repro.serde import BlobReader
+        from repro.sz.huffman import _h2_payload
+
+        codes = canonical_codes(lengths)
+        syms = self._arr() % 4
+        payload, sizes = _h2_payload(codes[syms], np.asarray(lengths)[syms], 8)
+        # Claim the right sizes but hand over a short payload.
+        bad = _hand_rolled_blob(
+            symbols, lengths, syms, version=2, n_streams=8,
+            sizes=sizes, payload=payload[:-10],
+        )
+        with pytest.raises(DecompressionError):
+            HuffmanCodec.decode(bad)
+
+    def test_undersized_streams_raise_exhausted(self):
+        # Sizes consistent with the (short) payload, but too few bits for n
+        # symbols: the cursor check must reject it, not return garbage.
+        symbols, lengths = np.arange(4), np.array([2, 2, 2, 2])
+        syms = self._arr() % 4
+        from repro.sz.huffman import _h2_payload
+
+        codes = canonical_codes(lengths)
+        payload, sizes = _h2_payload(codes[syms], np.asarray(lengths)[syms], 8)
+        cut = sizes.copy()
+        cut[0] -= 5  # steal 5 bytes from stream 0
+        short = payload[: int(cut[0])] + payload[int(sizes[0]) :]
+        bad = _hand_rolled_blob(
+            symbols, lengths, syms, version=2, n_streams=8,
+            sizes=cut, payload=short,
+        )
+        with pytest.raises(DecompressionError):
+            HuffmanCodec.decode(bad)
+
+    def test_bad_stream_count_raises(self):
+        symbols, lengths = np.arange(4), np.array([2, 2, 2, 2])
+        syms = self._arr() % 4
+        from repro.sz.huffman import _h2_payload
+
+        codes = canonical_codes(lengths)
+        payload, sizes = _h2_payload(codes[syms], np.asarray(lengths)[syms], 8)
+        for ns in (0, -1, 100000):
+            bad = _hand_rolled_blob(
+                symbols, lengths, syms, version=2, n_streams=ns,
+                sizes=sizes, payload=payload,
+            )
+            with pytest.raises(DecompressionError):
+                HuffmanCodec.decode(bad)
+
+    def test_size_table_length_mismatch_raises(self):
+        symbols, lengths = np.arange(4), np.array([2, 2, 2, 2])
+        syms = self._arr() % 4
+        from repro.sz.huffman import _h2_payload
+
+        codes = canonical_codes(lengths)
+        payload, sizes = _h2_payload(codes[syms], np.asarray(lengths)[syms], 8)
+        bad = _hand_rolled_blob(
+            symbols, lengths, syms, version=2, n_streams=8,
+            sizes=sizes[:-1], payload=payload[: int(sizes[:-1].sum())],
+        )
+        with pytest.raises(DecompressionError):
+            HuffmanCodec.decode(bad)
+
+    def test_unsupported_version_raises(self):
+        from repro.serde import BlobWriter
+
+        writer = BlobWriter()
+        writer.write_json({"n": 4, "dense": None, "dt": "<i8", "v": 9})
+        with pytest.raises(DecompressionError):
+            HuffmanCodec.decode(writer.getvalue())
+
+    def test_incomplete_codebook_raises(self):
+        # Lengths [2, 2, 2] leave a Kraft hole; both paths must refuse.
+        for version, ns in ((1, None), (2, 4)):
+            bad = _hand_rolled_blob(
+                np.arange(3), np.array([2, 2, 2]), np.zeros(50, dtype=np.int64),
+                version=version, n_streams=ns,
+            )
+            with pytest.raises(DecompressionError):
+                HuffmanCodec.decode(bad)
+
+    def test_oversubscribed_codebook_raises(self):
+        # Kraft surplus (overlapping spans) is corruption too.
+        bad = _hand_rolled_blob(
+            np.arange(3), np.array([1, 1, 1]), np.zeros(10, dtype=np.int64),
+        )
+        with pytest.raises(DecompressionError):
+            HuffmanCodec.decode(bad)
+
+
+class TestDeepCodebookCap:
+    """Codebooks deeper than FLAT_TABLE_BITS must not allocate 2**max_len."""
+
+    @pytest.mark.parametrize("depth", [20, 40, 57])
+    def test_deep_legacy_blob_decodes(self, depth):
+        symbols, lengths = _deep_codebook(depth)
+        rng = np.random.default_rng(depth)
+        # Mostly short codes with a few deep ones mixed in.
+        syms = np.where(
+            rng.random(2000) < 0.9, 0, rng.integers(0, symbols.size, 2000)
+        )
+        blob = _hand_rolled_blob(symbols, lengths, syms, version=1)
+        out = HuffmanCodec.decode(blob)
+        assert np.array_equal(out, syms)
+
+    @pytest.mark.parametrize("depth", [20, 40, 57])
+    def test_deep_h2_blob_decodes(self, depth):
+        symbols, lengths = _deep_codebook(depth)
+        rng = np.random.default_rng(depth + 1)
+        syms = np.where(
+            rng.random(5000) < 0.9, 0, rng.integers(0, symbols.size, 5000)
+        )
+        blob = _hand_rolled_blob(symbols, lengths, syms, version=2, n_streams=16)
+        out = HuffmanCodec.decode(blob)
+        assert np.array_equal(out, syms)
+
+    def test_over_budget_depth_rejected(self):
+        symbols, lengths = _deep_codebook(58)
+        # Assemble the codebook sections only; payload content irrelevant.
+        from repro.serde import BlobWriter
+        from repro.sz.huffman import _compact_symbols
+
+        writer = BlobWriter()
+        writer.write_json({"n": 10, "dense": None, "dt": "<i8"})
+        writer.write_array(_compact_symbols(symbols))
+        writer.write_array(lengths.astype(np.uint8))
+        writer.write_bytes(b"\x00" * 80)
+        with pytest.raises(DecompressionError):
+            HuffmanCodec.decode(writer.getvalue())
+
+
+class TestCodebookCache:
+    def test_cache_hits_on_repeated_alphabet(self):
+        from repro.sz.huffman import clear_codebook_caches
+        from repro.telemetry import recording
+
+        clear_codebook_caches()
+        rng = np.random.default_rng(21)
+        arr = rng.integers(0, 50, 30000)
+        with recording() as rec:
+            first = HuffmanCodec.encode(arr)
+            HuffmanCodec.decode(first)
+            miss_after_first = rec.snapshot()["counters"]["sz.huffman.cache.miss"]
+            second = HuffmanCodec.encode(arr)
+            HuffmanCodec.decode(second)
+            snap = rec.snapshot()["counters"]
+        assert first == second
+        assert snap["sz.huffman.cache.miss"] == miss_after_first
+        assert snap.get("sz.huffman.cache.hit", 0) >= 2
+
+    def test_clear_resets(self):
+        from repro.sz.huffman import (
+            _DECODE_CACHE,
+            _ENCODE_CACHE,
+            clear_codebook_caches,
+        )
+
+        HuffmanCodec.decode(HuffmanCodec.encode(np.arange(100)))
+        assert len(_ENCODE_CACHE) > 0
+        clear_codebook_caches()
+        assert len(_ENCODE_CACHE) == 0 and len(_DECODE_CACHE) == 0
+
+    def test_different_histograms_do_not_collide(self):
+        from repro.sz.huffman import clear_codebook_caches
+
+        clear_codebook_caches()
+        a = np.array([0] * 100 + [1] * 5 + [2] * 5, dtype=np.int64)
+        b = np.array([0] * 5 + [1] * 100 + [2] * 5, dtype=np.int64)
+        assert np.array_equal(HuffmanCodec.decode(HuffmanCodec.encode(a)), a)
+        assert np.array_equal(HuffmanCodec.decode(HuffmanCodec.encode(b)), b)
