@@ -8,6 +8,7 @@ Usage (after ``python setup.py develop`` / ``pip install -e .``)::
     mdz decompress traj.mdz restored.npy
     mdz info      traj.mdz
     mdz stats     traj.npy                     # per-stage time/byte profile
+    mdz trace     traj.npy -o trace.json --provenance prov.jsonl
     mdz bench     traj.npy --compressors mdz,sz2,tng
 
 ``compress`` loads the whole trajectory and writes a monolithic ``MDZ1``
@@ -19,9 +20,15 @@ optionally fanning compression across ``--workers`` processes.
 ``stats`` compresses with the telemetry layer enabled and prints where the
 wall-clock and the container bytes go, stage by stage (prediction +
 quantization live inside ``mdz.compress_batch``; the Huffman and
-dictionary-coder stages are broken out).  ``compress``/``stream``/``stats``
-all accept ``--metrics-json PATH`` to dump the full telemetry snapshot for
-machine consumption.
+dictionary-coder stages are broken out), with p50/p95/p99 per stage from
+the recorder's fixed-bucket histograms.  ``trace`` goes one level deeper:
+it runs the same pipeline under a hierarchical span tracer and exports a
+Chrome trace-event JSON (loadable in Perfetto) plus an optional JSONL
+provenance dump with one record per compressed buffer — which method coded
+it, what ADP measured, the entropy fan-out, raw vs. compressed bytes.
+``compress``/``stream``/``stats``/``trace`` all accept
+``--metrics-json PATH`` to dump the full telemetry snapshot for machine
+consumption.
 
 Input trajectories are ``.npy`` arrays of shape (snapshots, atoms, 3) (or
 (snapshots, atoms)) or LAMMPS-style text dumps (``.dump``/``.lammpstrj``).
@@ -48,10 +55,19 @@ from .io.dump import frames_to_array, read_dump
 from .telemetry import MetricsRecorder, recording
 
 
+def _load_npy(path: Path) -> np.ndarray:
+    """``np.load`` with unreadable-file errors normalized to ReproError."""
+    try:
+        return np.load(path)
+    except ValueError as exc:
+        # Not a .npy file (garbage header, pickled payload, truncation).
+        raise ReproError(f"cannot read {path}: {exc}") from exc
+
+
 def _load_trajectory(path: Path) -> np.ndarray:
     """Read a (snapshots, atoms, 3) trajectory from .npy or a text dump."""
     if path.suffix == ".npy":
-        data = np.load(path)
+        data = _load_npy(path)
     elif path.suffix in (".dump", ".lammpstrj", ".txt"):
         data = frames_to_array(read_dump(path))
     else:
@@ -127,7 +143,7 @@ def _config_from_args(args: argparse.Namespace) -> MDZConfig:
 def _iter_snapshots(path: Path):
     """Lazily yield (atoms, axes) snapshots from .npy or a text dump."""
     if path.suffix == ".npy":
-        return iter(np.load(path))
+        return iter(_load_npy(path))
     if path.suffix in (".dump", ".lammpstrj", ".txt"):
         from .io.dump import read_dump
 
@@ -179,14 +195,21 @@ def _format_stage_table(
     lines = []
     timers = snapshot.get("timers", {})
     if timers:
-        lines.append(f"{'stage':28s}{'calls':>8s}{'seconds':>10s}{'% wall':>8s}")
+        lines.append(
+            f"{'stage':28s}{'calls':>8s}{'seconds':>10s}{'% wall':>8s}"
+            f"{'p50 ms':>10s}{'p95 ms':>10s}{'p99 ms':>10s}"
+        )
         for name, cell in sorted(
             timers.items(), key=lambda kv: -kv[1]["seconds"]
         ):
             share = 100.0 * cell["seconds"] / max(wall_seconds, 1e-12)
+            quantiles = "".join(
+                f"{cell[q] * 1e3:10.3f}" if q in cell else f"{'-':>10s}"
+                for q in ("p50", "p95", "p99")
+            )
             lines.append(
                 f"{name:28s}{cell['count']:8d}{cell['seconds']:10.3f}"
-                f"{share:7.1f}%"
+                f"{share:7.1f}%{quantiles}"
             )
     counters = snapshot.get("counters", {})
     byte_counters = {k: v for k, v in counters.items() if k.endswith("bytes")}
@@ -239,6 +262,58 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         _write_metrics(
             args,
             rec,
+            wall_seconds=elapsed,
+            container_bytes=stats.bytes_written,
+            raw_bytes=stats.raw_bytes,
+        )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .stream import stream_compress
+    from .telemetry.export import write_chrome_trace, write_provenance
+    from .telemetry.tracing import TracingRecorder
+
+    snapshots = _iter_snapshots(Path(args.input))
+    sink = open(args.container, "wb") if args.container else io.BytesIO()
+    recorder = TracingRecorder()
+    try:
+        with recording(recorder):
+            t0 = time.perf_counter()
+            with recorder.span(
+                "mdz.trace",
+                dataset=Path(args.input).name,
+                workers=args.workers,
+            ):
+                stats = stream_compress(
+                    snapshots,
+                    sink,
+                    _config_from_args(args),
+                    workers=args.workers,
+                )
+            elapsed = time.perf_counter() - t0
+    finally:
+        if args.container:
+            sink.close()
+    snap = recorder.snapshot()
+    write_chrome_trace(args.output, snap)
+    mode = f"{args.workers} workers" if args.workers > 1 else "serial"
+    print(
+        f"{args.input}: traced {stats.snapshots} snapshots "
+        f"({stats.buffers} buffers, {mode}, "
+        f"CR {stats.compression_ratio:.1f}x) in {elapsed:.2f}s"
+    )
+    print(
+        f"trace: {len(snap['spans'])} spans -> {args.output} "
+        "(open in https://ui.perfetto.dev or chrome://tracing)"
+    )
+    if args.provenance:
+        n = write_provenance(args.provenance, snap)
+        print(f"provenance: {n} buffer records -> {args.provenance}")
+    if getattr(args, "metrics_json", None):
+        _write_metrics(
+            args,
+            recorder,
             wall_seconds=elapsed,
             container_bytes=stats.bytes_written,
             raw_bytes=stats.raw_bytes,
@@ -421,6 +496,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.set_defaults(func=_cmd_stats)
 
+    trace = sub.add_parser(
+        "trace",
+        help="trace a compression run: hierarchical spans (Perfetto JSON) "
+        "and per-buffer provenance",
+    )
+    trace.add_argument("input", help=".npy or LAMMPS-style dump file")
+    trace.add_argument(
+        "-o",
+        "--output",
+        default="trace.json",
+        help="Chrome trace-event JSON output (default: trace.json)",
+    )
+    trace.add_argument(
+        "--provenance",
+        metavar="PATH",
+        help="also dump one JSONL provenance record per compressed buffer",
+    )
+    trace.add_argument(
+        "--container",
+        metavar="PATH",
+        help="also keep the compressed MDZ2 container at this path",
+    )
+    trace.add_argument(
+        "--error-bound", type=float, default=1e-3, help="epsilon (default 1e-3)"
+    )
+    trace.add_argument(
+        "--bound-mode",
+        choices=("value_range", "absolute"),
+        default="value_range",
+    )
+    trace.add_argument("--buffer-size", type=int, default=10)
+    trace.add_argument(
+        "--method", choices=("adp", "vq", "vqt", "mt"), default="adp"
+    )
+    trace.add_argument("--sequence", choices=("seq1", "seq2"), default="seq2")
+    trace.add_argument("--scale", type=int, default=1024)
+    trace.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="compression worker processes (default: serial)",
+    )
+    trace.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        help="also write the aggregate telemetry snapshot to PATH",
+    )
+    trace.set_defaults(func=_cmd_trace)
+
     dec = sub.add_parser("decompress", help="decompress a container")
     dec.add_argument("input", help=".mdz container")
     dec.add_argument("output", help="output .npy file")
@@ -457,7 +581,9 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    except FileNotFoundError as exc:
+    except OSError as exc:
+        # Missing input, unreadable path, full disk: one line, not a
+        # traceback (covers FileNotFoundError, IsADirectoryError, ...).
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

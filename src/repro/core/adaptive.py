@@ -93,10 +93,18 @@ class ADPSelector:
         """
         if self.trial_due():
             recorder = get_recorder()
-            with recorder.timer("adp.trial"):
+            # The absorb span keeps the losers' stage annotations (their
+            # Huffman fan-out, OOS counts, ...) out of the enclosing
+            # buffer's provenance record; the trial *outcome* is
+            # annotated after the span closes, so it does land there.
+            with recorder.timer("adp.trial"), \
+                    recorder.span("adp.trial", absorb=True):
                 results: dict[str, tuple[bytes, np.ndarray]] = {}
                 for name, method in self.methods.items():
-                    results[name] = method.encode(batch, state.clone_for_trial())
+                    with recorder.span(f"adp.trial.{name}", absorb=True):
+                        results[name] = method.encode(
+                            batch, state.clone_for_trial()
+                        )
                 # Compare *final* sizes: the dictionary-coder stage is where
                 # e.g. VQ's repeated level-index streams collapse, so ranking
                 # raw payloads would misjudge the methods.
@@ -106,6 +114,9 @@ class ADPSelector:
                 }
             previous = self.current
             self.current = min(sizes, key=lambda name: (sizes[name], name))
+            recorder.annotate(
+                adp_trial=True, adp_sizes=sizes, adp_chosen=self.current
+            )
             if recorder.enabled:
                 recorder.count("adp.trials")
                 recorder.count(f"adp.winner.{self.current}")

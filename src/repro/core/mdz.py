@@ -87,7 +87,11 @@ class MDZAxisCompressor(Compressor):
             raise CompressionError("input contains non-finite values")
         state = self._require_state()
         recorder = get_recorder()
-        with recorder.timer("mdz.compress_batch"):
+        # The provenance span: every annotation made below it — by ADP,
+        # the quantizer serializer, the Huffman stage, the dictionary
+        # coder — lands in this buffer's provenance record.
+        with recorder.span("mdz.compress.buffer", provenance=True), \
+                recorder.timer("mdz.compress_batch"):
             if self.config.method == "adp":
                 name, payload, recon = self._selector.encode(batch, state)
             else:
@@ -99,6 +103,14 @@ class MDZAxisCompressor(Compressor):
             writer.write_json({"m": METHOD_IDS[name]})
             writer.write_bytes(payload)
             blob = lossless_compress(writer.getvalue(), state.lossless_backend)
+            recorder.annotate(
+                method=name,
+                rows=int(batch.shape[0]),
+                raw_values=int(batch.size),
+                raw_bytes=int(batch.size) * 4,  # float32 storage convention
+                compressed_bytes=len(blob),
+                error_bound=self.error_bound,
+            )
         if recorder.enabled:
             recorder.count("mdz.buffers")
             recorder.count(f"mdz.method.{name}")
@@ -109,7 +121,8 @@ class MDZAxisCompressor(Compressor):
     def decompress_batch(self, blob: bytes) -> np.ndarray:
         state = self._require_state()
         recorder = get_recorder()
-        with recorder.timer("mdz.decompress_batch"):
+        with recorder.span("mdz.decompress.buffer"), \
+                recorder.timer("mdz.decompress_batch"):
             reader = BlobReader(lossless_decompress(blob))
             method_id = int(reader.read_json()["m"])
             try:

@@ -45,6 +45,15 @@ class AxisJobSpec:
     :meth:`~repro.core.mdz.MDZAxisCompressor.export_session_seed` plus the
     session configuration.  ``reference`` is shipped only for MT (the one
     method that reads it), keeping per-job pickling cost low for VQ/VQT.
+
+    ``trace`` and ``telemetry`` carry the observability context across
+    the process boundary: ``trace`` is a span-context token from
+    :meth:`~repro.telemetry.tracing.TracingRecorder.export_token` (the
+    worker's root span re-parents under it), ``telemetry`` asks for a
+    metrics-only sideband.  Either makes :func:`encode_axis_buffer`
+    return ``(blob, snapshot)`` instead of bare bytes; the writer folds
+    the snapshot into the session recorder on collection.  Both default
+    off, so the plain path stays a bare-bytes, zero-overhead job.
     """
 
     method: str
@@ -57,16 +66,14 @@ class AxisJobSpec:
     reference: np.ndarray | None
     level_fit: LevelFit | None
     entropy_streams: int | None = None
+    trace: tuple | None = None
+    telemetry: bool = False
 
 
-def encode_axis_buffer(spec: AxisJobSpec, batch: np.ndarray) -> bytes:
-    """Encode one (B, N) buffer from a frozen state snapshot.
-
-    Runs in worker processes (and inline in serial mode).  Rebuilds a
-    fixed-method session, seeds the exported state, and reuses the exact
-    serial encode path — which is what makes parallel output byte-identical
-    to serial output.
-    """
+def _encode(spec: AxisJobSpec, batch: np.ndarray) -> bytes:
+    """The bare encode: rebuild a fixed-method session, reuse the exact
+    serial encode path — which is what makes parallel output
+    byte-identical to serial output."""
     config = MDZConfig(
         error_bound=spec.error_bound,
         error_bound_mode="absolute",
@@ -81,6 +88,39 @@ def encode_axis_buffer(spec: AxisJobSpec, batch: np.ndarray) -> bytes:
     session.begin(spec.error_bound, SessionMeta(n_atoms=spec.n_atoms))
     session.seed_session(spec.reference, spec.level_fit)
     return session.compress_batch(batch)
+
+
+def encode_axis_buffer(spec: AxisJobSpec, batch: np.ndarray):
+    """Encode one (B, N) buffer from a frozen state snapshot.
+
+    Runs in worker processes (and inline in serial mode).  With no
+    observability context on the spec, returns the compressed bytes.
+    With ``spec.trace``/``spec.telemetry`` set, the job runs under its
+    own process-local recorder — a worker cannot mutate the session's
+    recorder across the process boundary — and returns
+    ``(blob, snapshot)``; traced jobs open a root span whose parent is
+    the session-side span that dispatched them, so the merged trace
+    nests worker work under the flush that produced it.
+    """
+    if spec.trace is None and not spec.telemetry:
+        return _encode(spec, batch)
+    from ..telemetry import MetricsRecorder, set_recorder
+    from ..telemetry.tracing import TracingRecorder
+
+    recorder = TracingRecorder() if spec.trace is not None else MetricsRecorder()
+    previous = set_recorder(recorder)
+    try:
+        if spec.trace is not None:
+            parent, attrs = spec.trace
+            with recorder.span(
+                "stream.worker.encode_axis", parent=parent, **attrs
+            ):
+                blob = _encode(spec, batch)
+        else:
+            blob = _encode(spec, batch)
+    finally:
+        set_recorder(previous)
+    return blob, recorder.snapshot()
 
 
 class ParallelExecutor:

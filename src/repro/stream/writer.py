@@ -276,36 +276,52 @@ class StreamingWriter:
         if self._sessions is None:
             self._start(batch)
         rows = batch.shape[0]
-        for a in range(batch.shape[2]):
-            session = self._sessions[a]
-            axis_batch = np.ascontiguousarray(batch[:, :, a])
-            method = session.pending_method()
-            if method is None:
-                # First buffer or ADP trial: must run in-session, where it
-                # establishes the reference/level model or re-picks the
-                # method for the following buffers.
-                self._executor.push(session.compress_batch(axis_batch))
-            else:
-                reference, level_fit = session.export_session_seed()
-                spec = AxisJobSpec(
-                    method=method,
-                    error_bound=session.error_bound,
-                    n_atoms=self._shape[0],
-                    quantization_scale=self.config.quantization_scale,
-                    sequence_mode=self.config.sequence_mode,
-                    lossless_backend=self.config.lossless_backend,
-                    level_seed=self.config.level_seed,
-                    # Only MT reads the reference; skip shipping it
-                    # otherwise (it is one full snapshot per job).
-                    reference=reference if method == "mt" else None,
-                    level_fit=level_fit,
-                    entropy_streams=self.config.entropy_streams,
+        with recorder.span("stream.flush", buffer=self._buffer_index):
+            for a in range(batch.shape[2]):
+                session = self._sessions[a]
+                axis_batch = np.ascontiguousarray(batch[:, :, a])
+                method = session.pending_method()
+                if method is None:
+                    # First buffer or ADP trial: must run in-session, where
+                    # it establishes the reference/level model or re-picks
+                    # the method for the following buffers.
+                    with recorder.span(
+                        "stream.encode.axis",
+                        axis=a,
+                        buffer=self._buffer_index,
+                        mode="session",
+                    ):
+                        blob = session.compress_batch(axis_batch)
+                    self._executor.push(blob)
+                else:
+                    reference, level_fit = session.export_session_seed()
+                    spec = AxisJobSpec(
+                        method=method,
+                        error_bound=session.error_bound,
+                        n_atoms=self._shape[0],
+                        quantization_scale=self.config.quantization_scale,
+                        sequence_mode=self.config.sequence_mode,
+                        lossless_backend=self.config.lossless_backend,
+                        level_seed=self.config.level_seed,
+                        # Only MT reads the reference; skip shipping it
+                        # otherwise (it is one full snapshot per job).
+                        reference=reference if method == "mt" else None,
+                        level_fit=level_fit,
+                        entropy_streams=self.config.entropy_streams,
+                        # Span token: the worker's root span re-parents
+                        # under this flush (None on non-tracing recorders).
+                        trace=recorder.export_token(
+                            axis=a, buffer=self._buffer_index, mode="worker"
+                        ),
+                        telemetry=recorder.enabled,
+                    )
+                    session.note_external_buffer()
+                    self._executor.submit(encode_axis_buffer, spec, axis_batch)
+                self._pending.append(
+                    _PendingChunk(
+                        buffer_index=self._buffer_index, axis=a, rows=rows
+                    )
                 )
-                session.note_external_buffer()
-                self._executor.submit(encode_axis_buffer, spec, axis_batch)
-            self._pending.append(
-                _PendingChunk(buffer_index=self._buffer_index, axis=a, rows=rows)
-            )
         self._buffer_index += 1
         self.stats.buffers += 1
         self._collect(block=False)
@@ -319,6 +335,16 @@ class StreamingWriter:
         recorder = get_recorder()
         results = self._executor.drain() if block else self._executor.ready()
         for blob in results:
+            if type(blob) is tuple:
+                # Observability sideband from an out-of-session job:
+                # (bytes, recorder snapshot).  Fold the worker's metrics,
+                # spans, and provenance into the session recorder; the
+                # spans were already parented under our flush span via
+                # the job-spec token.
+                blob, sideband = blob
+                merge = getattr(recorder, "merge", None)
+                if merge is not None:
+                    merge(sideband)
             meta = self._pending.popleft()
             entry, written = fmt.write_chunk(
                 self._fh,

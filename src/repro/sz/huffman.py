@@ -440,7 +440,8 @@ class HuffmanCodec:
         if flat.size == 0:
             writer.write_json({"n": 0, "dt": dtype_tag})
             return writer.getvalue()
-        with recorder.timer("sz.huffman.encode"):
+        with recorder.span("sz.huffman.encode", symbols=int(flat.size)), \
+                recorder.timer("sz.huffman.encode"):
             symbols, inverse = np.unique(flat, return_inverse=True)
             counts = np.bincount(inverse, minlength=symbols.size)
             lengths, codes = _cached_codebook(symbols, counts)
@@ -475,6 +476,11 @@ class HuffmanCodec:
             recorder.count("sz.huffman.encode.symbols", flat.size)
             recorder.count("sz.huffman.encode.alphabet", symbols.size)
             recorder.count("sz.huffman.encode.bytes", len(blob))
+            recorder.annotate(
+                entropy_streams=n_streams,
+                alphabet=int(symbols.size),
+                huffman_bytes=len(blob),
+            )
         return blob
 
     @staticmethod
@@ -497,7 +503,8 @@ class HuffmanCodec:
         version = int(meta.get("v", 1))
         if version not in (1, 2):
             raise DecompressionError(f"unsupported Huffman blob version {version}")
-        with recorder.timer("sz.huffman.decode"):
+        with recorder.span("sz.huffman.decode", symbols=n), \
+                recorder.timer("sz.huffman.decode"):
             dense_base = meta.get("dense")
             if dense_base is None:
                 symbols = reader.read_array().astype(np.int64)

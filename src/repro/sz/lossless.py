@@ -57,11 +57,17 @@ def lossless_compress(
             f"choose from {available_backends()}"
         ) from None
     recorder = get_recorder()
-    with recorder.timer("sz.lossless.compress"):
+    with recorder.span("sz.lossless.compress", backend=backend), \
+            recorder.timer("sz.lossless.compress"):
         blob = bytes([ident]) + comp(data, level)
     if recorder.enabled:
         recorder.count("sz.lossless.bytes_in", len(data))
         recorder.count("sz.lossless.bytes_out", len(blob))
+        recorder.annotate(
+            lossless_backend=backend,
+            lossless_in=len(data),
+            lossless_out=len(blob),
+        )
     return blob
 
 

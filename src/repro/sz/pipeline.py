@@ -63,6 +63,12 @@ def encode_int_stream(
     if recorder.enabled:
         recorder.count("sz.oos.points", block.wide.size)
         recorder.count("sz.oos.bytes", len(side))
+        recorder.annotate(
+            quant_codes=int(block.codes.size),
+            oos_points=int(block.wide.size),
+            oos_bytes=len(side),
+            layout=layout,
+        )
     return writer.getvalue()
 
 

@@ -13,7 +13,14 @@ cost when disabled:
   occurrences), ``snapshot`` (a JSON-serializable dict of everything);
 * :class:`NullRecorder` — the default no-op implementation; the hot path
   pays one attribute lookup and an empty call, nothing else;
-* :class:`MetricsRecorder` — the collecting implementation;
+* :class:`MetricsRecorder` — the collecting implementation (timers carry
+  min/max and fixed-bucket histograms, so snapshots report
+  p50/p95/p99 per stage and merge by addition);
+* :class:`TracingRecorder` — a ``MetricsRecorder`` that additionally
+  collects hierarchical spans (``span``/``annotate``/``export_token``,
+  see :mod:`repro.telemetry.tracing`) and one provenance record per
+  compressed buffer; :mod:`repro.telemetry.export` turns its snapshots
+  into Chrome trace-event JSON (Perfetto-loadable) and provenance JSONL;
 * :func:`get_recorder` / :func:`set_recorder` / :func:`recording` — the
   module-global active-recorder slot, so instrumentation points fetch
   the recorder at call time instead of threading it through every
@@ -42,9 +49,17 @@ Typical use::
         blob = MDZ(MDZConfig()).compress(positions)
     print(rec.snapshot()["timers"])
 
-The CLI exposes the same data as ``mdz stats`` and ``--metrics-json``.
+The CLI exposes the same data as ``mdz stats`` / ``--metrics-json``,
+and the span/provenance layer as ``mdz trace``.
 """
 
+from .export import (
+    provenance_lines,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_provenance,
+)
 from .recorder import (
     MetricsRecorder,
     NullRecorder,
@@ -54,13 +69,21 @@ from .recorder import (
     recording,
     set_recorder,
 )
+from .tracing import TracingRecorder, current_span_id
 
 __all__ = [
     "MetricsRecorder",
     "NullRecorder",
     "NULL_RECORDER",
     "Recorder",
+    "TracingRecorder",
+    "current_span_id",
     "get_recorder",
+    "provenance_lines",
     "recording",
     "set_recorder",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_provenance",
 ]

@@ -1,0 +1,157 @@
+"""Trace exporters: Chrome trace-event JSON (Perfetto) and provenance JSONL.
+
+A :class:`~repro.telemetry.tracing.TracingRecorder` snapshot carries
+``spans`` (wall-aligned, pid/tid-tagged, parent-linked intervals) and
+``provenance`` (one record per compressed buffer).  This module turns
+those into files other tools read:
+
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event format (the ``{"traceEvents": [...]}`` object form), using
+  complete ``"X"`` events, loadable by Perfetto (https://ui.perfetto.dev)
+  and ``chrome://tracing``.  Session and worker processes land on
+  separate ``pid`` tracks, named via ``"M"`` metadata events; parent
+  links ride in ``args`` so a span can always be traced back.
+* :func:`provenance_lines` / :func:`write_provenance` — one JSON object
+  per line per compressed buffer, the machine-readable answer to "which
+  method coded chunk (buffer, axis) and what did it cost".
+* :func:`validate_chrome_trace` — structural validation (required keys,
+  ``ts`` monotonicity, non-negative durations, matched ``B``/``E``
+  pairs) shared by the test suite and the CI ``trace-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Event phases the validator accepts.
+_KNOWN_PHASES = {"X", "B", "E", "M", "i", "C"}
+
+
+def to_chrome_trace(snapshot: dict) -> dict:
+    """Convert one tracing snapshot to a Chrome trace-event object.
+
+    Timestamps are rebased so the earliest span starts at ``ts=0`` (the
+    absolute epoch is preserved in ``otherData``).  Spans become complete
+    ``"X"`` events sorted by ``ts``; process tracks are named after their
+    role (the session pid from ``snapshot["trace"]`` vs. merged worker
+    pids).
+    """
+    spans = snapshot.get("spans", [])
+    session_pid = snapshot.get("trace", {}).get("pid")
+    base = min((s["start"] for s in spans), default=0.0)
+    events = []
+    pids: dict[int, str] = {}
+    for span in sorted(spans, key=lambda s: s["start"]):
+        pid = int(span.get("pid", 0))
+        if pid not in pids:
+            pids[pid] = (
+                "mdz session" if pid == session_pid else f"mdz worker {pid}"
+            )
+        args = {
+            "span_id": span.get("span_id"),
+            "parent_id": span.get("parent_id"),
+        }
+        args.update(span.get("attrs", {}))
+        events.append(
+            {
+                "name": span["name"],
+                "ph": "X",
+                "ts": round((span["start"] - base) * 1e6, 3),
+                "dur": round(max(span["duration"], 0.0) * 1e6, 3),
+                "pid": pid,
+                "tid": int(span.get("tid", 0)) % 2**31,
+                "args": args,
+            }
+        )
+    meta = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": label},
+        }
+        for pid, label in sorted(pids.items())
+    ]
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "mdz trace",
+            "epoch_unix_s": base,
+            "spans": len(events),
+        },
+    }
+
+
+def write_chrome_trace(path: str | Path, snapshot: dict) -> dict:
+    """Write the Chrome trace for ``snapshot`` to ``path``; returns it."""
+    trace = to_chrome_trace(snapshot)
+    Path(path).write_text(json.dumps(trace))
+    return trace
+
+
+def provenance_lines(snapshot: dict):
+    """Yield one compact JSON line per provenance record."""
+    for record in snapshot.get("provenance", ()):
+        yield json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def write_provenance(path: str | Path, snapshot: dict) -> int:
+    """Write the provenance JSONL dump; returns the record count."""
+    lines = list(provenance_lines(snapshot))
+    text = "\n".join(lines)
+    Path(path).write_text(text + "\n" if text else "")
+    return len(lines)
+
+
+def validate_chrome_trace(trace: dict) -> None:
+    """Raise ``ValueError`` when ``trace`` is not a well-formed trace.
+
+    Checks the invariants the export relies on: the ``traceEvents`` list
+    exists, every event carries the required keys with a known phase,
+    non-``M`` event timestamps are monotonically non-decreasing in list
+    order, ``X`` events have non-negative durations, and ``B``/``E``
+    pairs match per ``(pid, tid)``.
+    """
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ValueError("trace must be an object with a traceEvents list")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    last_ts = None
+    open_stacks: dict[tuple, list] = {}
+    for i, ev in enumerate(events):
+        for key in ("name", "ph", "pid"):
+            if key not in ev:
+                raise ValueError(f"event {i} missing required key {key!r}")
+        ph = ev["ph"]
+        if ph not in _KNOWN_PHASES:
+            raise ValueError(f"event {i} has unknown phase {ph!r}")
+        if ph == "M":
+            continue
+        if "ts" not in ev or "tid" not in ev:
+            raise ValueError(f"event {i} ({ph}) missing ts/tid")
+        ts = float(ev["ts"])
+        if ts < 0:
+            raise ValueError(f"event {i} has negative ts {ts}")
+        if last_ts is not None and ts < last_ts:
+            raise ValueError(
+                f"event {i} breaks ts monotonicity ({ts} < {last_ts})"
+            )
+        last_ts = ts
+        key = (ev["pid"], ev["tid"])
+        if ph == "X":
+            if float(ev.get("dur", -1.0)) < 0:
+                raise ValueError(f"event {i} (X) has negative/missing dur")
+        elif ph == "B":
+            open_stacks.setdefault(key, []).append(ev["name"])
+        elif ph == "E":
+            stack = open_stacks.get(key)
+            if not stack:
+                raise ValueError(f"event {i} (E) without a matching B")
+            stack.pop()
+    dangling = {k: v for k, v in open_stacks.items() if v}
+    if dangling:
+        raise ValueError(f"unmatched B events: {dangling}")

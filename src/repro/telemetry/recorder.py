@@ -18,12 +18,49 @@ re-plumbing constructor arguments through the pipeline layers.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
+from bisect import bisect_right
 from collections import deque
 
 #: Cap on the retained event log (oldest entries are dropped beyond it).
 MAX_EVENTS = 256
+
+#: Cap on one event's detail string.  Executor failure paths record
+#: ``repr(exc)``, which can embed a full array repr; truncating at the
+#: recorder keeps the bounded event log (and ``--metrics-json`` output)
+#: bounded in *bytes*, not just entries.
+MAX_EVENT_DETAIL = 512
+
+#: Fixed histogram bucket upper bounds for stage timers: powers of two
+#: from 1 µs to ~67 s.  Fixed (not adaptive) so histograms merge across
+#: worker processes by plain addition.
+TIMER_BUCKETS = tuple(1e-6 * 2.0**i for i in range(27))
+
+
+def _bucket_index(seconds: float) -> int:
+    return bisect_right(TIMER_BUCKETS, seconds)
+
+
+def _bucket_value(index: int) -> float:
+    """Representative duration for one bucket (geometric midpoint)."""
+    if index <= 0:
+        return TIMER_BUCKETS[0] / 2.0
+    if index >= len(TIMER_BUCKETS):
+        return TIMER_BUCKETS[-1] * 1.5
+    return math.sqrt(TIMER_BUCKETS[index - 1] * TIMER_BUCKETS[index])
+
+
+def _percentile(hist: dict[int, int], total: int, q: float) -> float:
+    """Histogram-estimated ``q``-quantile (0 < q < 1) of a timer."""
+    target = q * total
+    cum = 0
+    for index in sorted(hist):
+        cum += hist[index]
+        if cum >= target:
+            return _bucket_value(index)
+    return _bucket_value(max(hist) if hist else 0)
 
 
 class _NullTimer:
@@ -39,6 +76,24 @@ class _NullTimer:
 
 
 _NULL_TIMER = _NullTimer()
+
+
+class _NullSpan:
+    """Do-nothing span handle: the disabled tracing hot path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def annotate(self, **attrs) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
 
 
 class Recorder:
@@ -69,6 +124,19 @@ class Recorder:
 
     def event(self, name: str, detail: str = "") -> None:
         """Record a discrete noteworthy occurrence (error, fallback)."""
+
+    # -- tracing surface (collected only by TracingRecorder) ------------
+
+    def span(self, name: str, **kwargs):
+        """Context manager opening a nested trace span under ``name``."""
+        return _NULL_SPAN
+
+    def annotate(self, **attrs) -> None:
+        """Attach attributes to the innermost provenance span, if any."""
+
+    def export_token(self, **attrs):
+        """Picklable span context for a worker process (``None`` = off)."""
+        return None
 
     def snapshot(self) -> dict:
         """Serializable view of everything recorded so far."""
@@ -117,7 +185,7 @@ class MetricsRecorder(Recorder):
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
         self._gauges: dict[str, float] = {}
-        #: name -> [call count, total seconds]
+        #: name -> [call count, total seconds, min, max, {bucket: count}]
         self._timers: dict[str, list] = {}
         self._events: deque[dict] = deque(maxlen=MAX_EVENTS)
 
@@ -136,18 +204,31 @@ class MetricsRecorder(Recorder):
 
     def observe(self, name: str, seconds: float) -> None:
         """Fold one timed interval into the stage timer ``name``."""
+        seconds = float(seconds)
         with self._lock:
             cell = self._timers.get(name)
             if cell is None:
-                self._timers[name] = [1, float(seconds)]
-            else:
-                cell[0] += 1
-                cell[1] += float(seconds)
+                cell = self._timers[name] = [
+                    0, 0.0, float("inf"), float("-inf"), {},
+                ]
+            cell[0] += 1
+            cell[1] += seconds
+            if seconds < cell[2]:
+                cell[2] = seconds
+            if seconds > cell[3]:
+                cell[3] = seconds
+            bucket = _bucket_index(seconds)
+            cell[4][bucket] = cell[4].get(bucket, 0) + 1
 
     def event(self, name: str, detail: str = "") -> None:
+        detail = str(detail)
+        if len(detail) > MAX_EVENT_DETAIL:
+            detail = detail[: MAX_EVENT_DETAIL - 1] + "…"
         with self._lock:
-            self._events.append({"name": name, "detail": str(detail)})
-        self.count(f"events.{name}")
+            self._events.append({"name": name, "detail": detail})
+            self._counters[f"events.{name}"] = (
+                self._counters.get(f"events.{name}", 0) + 1
+            )
 
     # -- reading --------------------------------------------------------
 
@@ -162,41 +243,70 @@ class MetricsRecorder(Recorder):
             cell = self._timers.get(name)
             return 0.0 if cell is None else cell[1]
 
+    @staticmethod
+    def _timer_view(cell: list) -> dict:
+        """Serializable view of one timer cell, percentiles included."""
+        count, total, lo, hi, hist = cell
+        view = {"count": count, "seconds": total}
+        if count:
+            view["min"] = lo
+            view["max"] = hi
+            for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+                view[label] = min(max(_percentile(hist, count, q), lo), hi)
+            view["hist"] = {str(k): v for k, v in sorted(hist.items())}
+        return view
+
     def snapshot(self) -> dict:
         """Everything recorded so far, as a JSON-serializable dict."""
         with self._lock:
-            return {
-                "enabled": True,
-                "counters": dict(sorted(self._counters.items())),
-                "gauges": dict(sorted(self._gauges.items())),
-                "timers": {
-                    name: {"count": cell[0], "seconds": cell[1]}
-                    for name, cell in sorted(self._timers.items())
-                },
-                "events": list(self._events),
-            }
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> dict:
+        return {
+            "enabled": True,
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "timers": {
+                name: self._timer_view(cell)
+                for name, cell in sorted(self._timers.items())
+            },
+            "events": list(self._events),
+        }
 
     def merge(self, other: dict) -> None:
         """Fold another recorder's :meth:`snapshot` into this one.
 
         Counters and timers add; gauges take the other side's value
         (it is newer); events append.  Used to aggregate worker-side
-        snapshots into the session recorder.
+        snapshots into the session recorder.  The whole fold happens
+        under one lock acquisition, so a concurrent :meth:`snapshot`
+        sees either none or all of the other recorder's aggregates —
+        never a torn state with counters folded but timers pending.
         """
-        for name, n in other.get("counters", {}).items():
-            self.count(name, n)
-        for name, value in other.get("gauges", {}).items():
-            self.gauge(name, value)
-        for name, cell in other.get("timers", {}).items():
-            with self._lock:
+        with self._lock:
+            for name, n in other.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + int(n)
+            for name, value in other.get("gauges", {}).items():
+                self._gauges[name] = float(value)
+            for name, cell in other.get("timers", {}).items():
                 mine = self._timers.get(name)
                 if mine is None:
-                    self._timers[name] = [int(cell["count"]), float(cell["seconds"])]
-                else:
-                    mine[0] += int(cell["count"])
-                    mine[1] += float(cell["seconds"])
-        with self._lock:
+                    mine = self._timers[name] = [
+                        0, 0.0, float("inf"), float("-inf"), {},
+                    ]
+                mine[0] += int(cell["count"])
+                mine[1] += float(cell["seconds"])
+                mine[2] = min(mine[2], float(cell.get("min", mine[2])))
+                mine[3] = max(mine[3], float(cell.get("max", mine[3])))
+                for bucket, n in cell.get("hist", {}).items():
+                    bucket = int(bucket)
+                    mine[4][bucket] = mine[4].get(bucket, 0) + int(n)
             self._events.extend(other.get("events", ()))
+            self._merge_extra_locked(other)
+
+    def _merge_extra_locked(self, other: dict) -> None:
+        """Hook for subclasses folding extra snapshot sections (called
+        under the merge lock)."""
 
     def reset(self) -> None:
         """Drop everything recorded so far."""
@@ -205,6 +315,10 @@ class MetricsRecorder(Recorder):
             self._gauges.clear()
             self._timers.clear()
             self._events.clear()
+            self._reset_extra_locked()
+
+    def _reset_extra_locked(self) -> None:
+        """Hook for subclasses clearing extra state (under the lock)."""
 
 
 # -- the active recorder slot -------------------------------------------

@@ -194,3 +194,82 @@ class TestInfoAndBench:
         assert "unknown compressor(s): nonexistent" in err
         assert "registered:" in err
         assert "mdz" in err
+
+
+class TestStatsAndTrace:
+    def test_stats_reports_percentiles(self, npy_trajectory, capsys):
+        path, _ = npy_trajectory
+        assert main(["stats", str(path), "--buffer-size", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "p50 ms" in out and "p95 ms" in out and "p99 ms" in out
+        assert "mdz.compress_batch" in out
+
+    def test_trace_writes_valid_trace_and_provenance(
+        self, tmp_path, npy_trajectory, capsys
+    ):
+        import json
+
+        from repro.telemetry import validate_chrome_trace
+
+        path, _ = npy_trajectory
+        trace_path = tmp_path / "trace.json"
+        prov_path = tmp_path / "prov.jsonl"
+        code = main(
+            [
+                "trace",
+                str(path),
+                "-o",
+                str(trace_path),
+                "--provenance",
+                str(prov_path),
+                "--buffer-size",
+                "5",
+            ]
+        )
+        assert code == 0
+        validate_chrome_trace(json.loads(trace_path.read_text()))
+        records = [
+            json.loads(line)
+            for line in prov_path.read_text().splitlines()
+        ]
+        assert len(records) == 9  # 3 buffers x 3 axes
+        assert all("method" in r for r in records)
+        out = capsys.readouterr().out
+        assert " spans -> " in out
+
+    def test_stats_missing_input_fails_cleanly(self, tmp_path, capsys):
+        code = main(["stats", str(tmp_path / "nope.npy")])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_trace_missing_input_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["trace", str(tmp_path / "nope.npy"), "-o", str(tmp_path / "t.json")]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+        assert not (tmp_path / "t.json").exists()
+
+    def test_stats_unreadable_input_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "garbage.npy"
+        bad.write_bytes(b"this is not a numpy file")
+        code = main(["stats", str(bad)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_trace_unreadable_input_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "garbage.npy"
+        bad.write_bytes(b"\x93NUMPY but truncated")
+        code = main(
+            ["trace", str(bad), "-o", str(tmp_path / "t.json")]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1

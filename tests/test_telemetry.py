@@ -99,8 +99,44 @@ class TestRecorderPrimitives:
         snap = a.snapshot()
         assert snap["counters"]["n"] == 3
         assert snap["gauges"]["g"] == 7.0
-        assert snap["timers"]["t"] == {"count": 1, "seconds": 0.5}
+        cell = snap["timers"]["t"]
+        assert cell["count"] == 1
+        assert cell["seconds"] == 0.5
+        assert cell["min"] == cell["max"] == 0.5
         assert snap["events"]
+
+    def test_timer_percentiles_and_extrema(self):
+        rec = MetricsRecorder()
+        for ms in (1, 1, 1, 1, 1, 1, 1, 1, 1, 200):
+            rec.observe("t", ms / 1e3)
+        cell = rec.snapshot()["timers"]["t"]
+        assert cell["min"] == pytest.approx(1e-3)
+        assert cell["max"] == pytest.approx(0.2)
+        # Histogram-estimated: p50 near the 1 ms mass, p99 near the
+        # 200 ms outlier, both clamped inside [min, max].
+        assert cell["min"] <= cell["p50"] <= 2e-3
+        assert 0.1 <= cell["p99"] <= cell["max"]
+        assert cell["p50"] <= cell["p95"] <= cell["p99"]
+
+    def test_merged_histograms_add(self):
+        a, b = MetricsRecorder(), MetricsRecorder()
+        a.observe("t", 0.001)
+        b.observe("t", 0.001)
+        b.observe("t", 4.0)
+        a.merge(b.snapshot())
+        cell = a.snapshot()["timers"]["t"]
+        assert cell["count"] == 3
+        assert cell["max"] == 4.0
+        assert sum(cell["hist"].values()) == 3
+
+    def test_event_detail_is_capped(self):
+        from repro.telemetry.recorder import MAX_EVENT_DETAIL
+
+        rec = MetricsRecorder()
+        rec.event("boom", "x" * (MAX_EVENT_DETAIL * 4))
+        detail = rec.snapshot()["events"][0]["detail"]
+        assert len(detail) == MAX_EVENT_DETAIL
+        assert detail.endswith("…")
 
     def test_reset_clears_everything(self):
         rec = MetricsRecorder()
