@@ -1,0 +1,39 @@
+"""Deterministic fault injection for the streaming subsystem.
+
+This package answers one question reproducibly: *what exactly happens
+to an ``MDZ2`` archive when the world misbehaves?*  It has three parts:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultSpec`,
+  seeded serialisable descriptions of torn writes, injected
+  ``OSError``/``ENOSPC``, byte corruption, truncation, and worker-job
+  failures;
+* :mod:`repro.faults.injector` — the shims that realise a plan:
+  :class:`FaultyFile` (wraps the writer's file handle),
+  :class:`FaultyExecutor` (wraps the compression pool), and
+  :func:`apply_posthoc` (damages finished bytes);
+* :mod:`repro.faults.harness` — :func:`run_chaos`, which runs one
+  pristine and one faulted compression of the same trajectory and
+  checks the *no-silent-loss* invariant: the run ends in either a
+  byte-exact archive or a salvage report accounting for every snapshot.
+
+Everything is seeded and deterministic — a failing chaos test
+reproduces from ``FaultPlan.random(seed)`` alone.  The recovery
+machinery this package exercises lives in :mod:`repro.stream` (writer
+fence commits, executor retries, reader salvage) and
+:mod:`repro.stream.format` (``verify_stream`` / ``repair_stream``).
+"""
+
+from .harness import ChaosResult, run_chaos
+from .injector import FaultyExecutor, FaultyFile, apply_posthoc
+from .plan import KINDS, FaultPlan, FaultSpec
+
+__all__ = [
+    "ChaosResult",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyExecutor",
+    "FaultyFile",
+    "KINDS",
+    "apply_posthoc",
+    "run_chaos",
+]

@@ -1,0 +1,245 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is a seeded, serialisable description of every
+fault one chaos run will inject — nothing about injection is random at
+run time, so a failing chaos test reproduces from its seed alone.
+
+Fault kinds
+-----------
+
+Faults split by *where* they act:
+
+* **write-path faults** intercept the writer's file handle
+  (:class:`repro.faults.injector.FaultyFile`):
+
+  - ``io_error`` — ``write()`` raises :class:`OSError` (``ENOSPC``)
+    without writing anything, once the stream's byte position reaches
+    ``offset``; fires ``times`` times, then clears (a full disk that
+    frees up, a transient EIO).
+  - ``torn_write`` — ``write()`` persists only the first ``length``
+    bytes of the affected call, then raises ``EIO``: the classic torn
+    frame a crash leaves behind, which the writer's fence rollback must
+    truncate away.
+
+* **worker faults** intercept executor jobs
+  (:class:`repro.faults.injector.FaultyExecutor`):
+
+  - ``worker_fail`` — compression job number ``job_index`` raises
+    :class:`OSError` on its first ``times`` attempts (counted across
+    process boundaries), standing in for a worker killed mid-job: the
+    pool surfaces both the same way, as a failed result fetch.
+
+* **post-hoc faults** damage the finished file on disk
+  (:func:`repro.faults.injector.apply_posthoc`) — what bit rot, a bad
+  copy, or ``kill -9`` mid-``write`` leave behind:
+
+  - ``corrupt`` — XOR ``xor_mask`` over ``length`` bytes at ``offset``;
+  - ``truncate`` — cut the file to ``offset`` bytes.
+
+Offsets of write-path faults are positions in the *logical output
+stream* (byte N of the archive), so a plan places a fault "inside chunk
+3" without knowing frame sizes in advance; post-hoc offsets index the
+final file, and may be given as negative values to count from the end.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+#: Every fault kind a plan may carry, grouped by injection site.
+WRITE_KINDS = ("io_error", "torn_write")
+WORKER_KINDS = ("worker_fail",)
+POSTHOC_KINDS = ("corrupt", "truncate")
+KINDS = WRITE_KINDS + WORKER_KINDS + POSTHOC_KINDS
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject.  Field meaning depends on ``kind``.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`KINDS`.
+    offset:
+        Write faults: logical stream position that arms the fault (the
+        first ``write`` that would cover this byte trips it).  Post-hoc
+        faults: byte offset in the finished file; negative counts from
+        the end.  Ignored by ``worker_fail``.
+    length:
+        ``torn_write``: bytes of the affected call that still land.
+        ``corrupt``: size of the damaged span.  Ignored otherwise.
+    times:
+        ``io_error``/``torn_write``/``worker_fail``: how many times the
+        fault fires before clearing.  A value larger than the writer's
+        retry budget turns a transient fault into a permanent one.
+    xor_mask:
+        ``corrupt``: byte mask XORed over the span (must be non-zero or
+        the corruption is a no-op).
+    job_index:
+        ``worker_fail``: which executor job (0-based submission order,
+        counting only pool-submitted jobs) fails.
+
+    Raises
+    ------
+    ValueError
+        For an unknown ``kind`` or a self-contradictory spec.
+    """
+
+    kind: str
+    offset: int = 0
+    length: int = 1
+    times: int = 1
+    xor_mask: int = 0xFF
+    job_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {KINDS}"
+            )
+        if self.times < 1:
+            raise ValueError("a fault must fire at least once (times >= 1)")
+        if self.kind == "corrupt" and self.xor_mask % 256 == 0:
+            raise ValueError("corrupt with xor_mask 0 would change nothing")
+        if self.kind == "truncate" and self.offset < 0:
+            # Negative offsets are fine (from-the-end), but -0 confusion
+            # aside, a truncate needs *some* reference point.
+            pass
+
+    def to_json(self) -> dict:
+        """Plain-dict form (stable keys, JSON-serialisable)."""
+        return {
+            "kind": self.kind,
+            "offset": self.offset,
+            "length": self.length,
+            "times": self.times,
+            "xor_mask": self.xor_mask,
+            "job_index": self.job_index,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultSpec":
+        """Inverse of :meth:`to_json`; unknown keys are rejected."""
+        allowed = {
+            "kind",
+            "offset",
+            "length",
+            "times",
+            "xor_mask",
+            "job_index",
+        }
+        extra = set(data) - allowed
+        if extra:
+            raise ValueError(f"unknown FaultSpec fields: {sorted(extra)}")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, ordered collection of :class:`FaultSpec`.
+
+    Plans are immutable and fully describe a chaos run's faults; the
+    harness (:func:`repro.faults.harness.run_chaos`) derives nothing
+    else from randomness.
+    """
+
+    specs: tuple[FaultSpec, ...] = field(default_factory=tuple)
+    #: The seed the plan was generated from (0 for hand-built plans).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    @property
+    def write_faults(self) -> tuple[FaultSpec, ...]:
+        """Specs injected through the file handle, in declaration order."""
+        return tuple(s for s in self.specs if s.kind in WRITE_KINDS)
+
+    @property
+    def worker_faults(self) -> tuple[FaultSpec, ...]:
+        """Specs injected through the executor."""
+        return tuple(s for s in self.specs if s.kind in WORKER_KINDS)
+
+    @property
+    def posthoc_faults(self) -> tuple[FaultSpec, ...]:
+        """Specs applied to the finished file bytes."""
+        return tuple(s for s in self.specs if s.kind in POSTHOC_KINDS)
+
+    def to_json(self) -> dict:
+        """Plain-dict form: ``{"seed": ..., "specs": [...]}``."""
+        return {
+            "seed": self.seed,
+            "specs": [s.to_json() for s in self.specs],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultPlan":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            specs=tuple(
+                FaultSpec.from_json(s) for s in data.get("specs", [])
+            ),
+            seed=int(data.get("seed", 0)),
+        )
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        size_hint: int = 4096,
+        n_faults: int = 2,
+        kinds: tuple[str, ...] = KINDS,
+        jobs_hint: int = 8,
+    ) -> "FaultPlan":
+        """Generate a deterministic plan from ``seed``.
+
+        Parameters
+        ----------
+        seed:
+            Drives a private :class:`random.Random`; equal seeds (and
+            equal hints) produce byte-equal plans on every platform.
+        size_hint:
+            Approximate archive size in bytes; fault offsets are drawn
+            from ``[64, size_hint)`` so they land past the header.
+        n_faults:
+            Number of specs to draw.
+        kinds:
+            Pool of kinds to draw from (e.g. only write-path kinds for
+            a writer-focused matrix).
+        jobs_hint:
+            Upper bound for drawn ``job_index`` values.
+        """
+        rng = random.Random(seed)
+        specs = []
+        for _ in range(n_faults):
+            kind = rng.choice(list(kinds))
+            offset = rng.randrange(64, max(size_hint, 65))
+            if kind == "io_error":
+                spec = FaultSpec(kind, offset=offset, times=rng.randint(1, 5))
+            elif kind == "torn_write":
+                spec = FaultSpec(
+                    kind,
+                    offset=offset,
+                    length=rng.randint(1, 32),
+                    times=rng.randint(1, 5),
+                )
+            elif kind == "worker_fail":
+                spec = FaultSpec(
+                    kind,
+                    job_index=rng.randrange(max(jobs_hint, 1)),
+                    times=rng.randint(1, 4),
+                )
+            elif kind == "corrupt":
+                spec = FaultSpec(
+                    kind,
+                    offset=offset,
+                    length=rng.randint(1, 16),
+                    xor_mask=rng.randint(1, 255),
+                )
+            else:  # truncate
+                spec = FaultSpec(kind, offset=offset)
+            specs.append(spec)
+        return cls(specs=tuple(specs), seed=seed)

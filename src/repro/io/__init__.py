@@ -14,6 +14,7 @@ from .container import (
     read_container,
     read_container_batch,
     read_container_info,
+    verify_container,
     write_container,
 )
 from .dump import read_dump, write_dump
@@ -29,6 +30,7 @@ __all__ = [
     "read_dump",
     "run_stream",
     "stream_error_bound",
+    "verify_container",
     "write_container",
     "write_dump",
 ]

@@ -49,12 +49,17 @@ MAGIC = b"MDZ1"
 def container_version(blob: bytes) -> int:
     """The format generation of a container blob: 1 or 2.
 
-    Raises :class:`ContainerFormatError` when the blob carries neither
-    magic.  ``MDZ2`` files lead with their raw magic; ``MDZ1`` blobs frame
-    it as the first :mod:`repro.serde` section.
+    Raises :class:`ContainerFormatError` for empty input or when the
+    blob carries neither magic.  ``MDZ2`` files lead with their raw
+    magic; ``MDZ1`` blobs frame it as the first :mod:`repro.serde`
+    section.
     """
     from ..stream.format import is_stream_container
 
+    if len(blob) == 0:
+        raise ContainerFormatError(
+            "container is empty (zero-length input)"
+        )
     if is_stream_container(blob):
         return 2
     try:
@@ -312,3 +317,68 @@ def read_container_batch(blob: bytes, batch_index: int) -> np.ndarray:
         piece = _blob_at(payload, offsets, batch_index * n_axes + a)
         out[:, :, a] = sessions[a].decompress_batch(piece)
     return out
+
+
+def verify_container(blob: bytes) -> dict:
+    """Integrity audit of a container of either generation, no decoding.
+
+    Dispatches on the magic: ``MDZ2`` blobs go through
+    :func:`repro.stream.format.verify_stream` (per-chunk CRCs, rolling
+    checksum chain, footer/index agreement); ``MDZ1`` blobs are checked
+    for frame structure, index/payload agreement, and the whole-payload
+    CRC32.
+
+    Returns a JSON-serialisable report.  Common keys:
+
+    * ``format`` — ``"MDZ1"`` or ``"MDZ2"``;
+    * ``intact`` — ``True`` only when every check passed;
+    * ``errors`` — human-readable failure descriptions (empty if intact).
+
+    Never raises for damaged input: structural failures are folded into
+    the report (``intact=False``).  Only a zero-length blob still raises
+    :class:`ContainerFormatError`, mirroring :func:`container_version`.
+    """
+    version = container_version(blob)
+    if version == 2:
+        from ..stream.format import verify_stream
+
+        return verify_stream(blob)
+    report: dict = {
+        "format": "MDZ1",
+        "intact": False,
+        "header": False,
+        "chunks": 0,
+        "snapshots": 0,
+        "errors": [],
+    }
+    try:
+        header, index, payload = _open_container(blob)
+    except ContainerFormatError as exc:
+        report["errors"].append(str(exc))
+        return report
+    report["header"] = True
+    try:
+        report["snapshots"] = int(header["snapshots"])
+        offsets = [int(o) for o in index["offsets"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        report["errors"].append(f"malformed header/index: {exc}")
+        return report
+    report["chunks"] = len(offsets)
+    previous = 0
+    for i, off in enumerate(offsets):
+        if off < previous or off > len(payload):
+            report["errors"].append(
+                f"index offset {i} out of order or beyond payload "
+                f"({off} / {len(payload)})"
+            )
+            return report
+        previous = off
+    n_axes = int(header.get("axes", 0) or 0)
+    if n_axes and len(offsets) % n_axes != 0:
+        report["errors"].append(
+            f"index holds {len(offsets)} blobs, not a multiple of "
+            f"{n_axes} axes"
+        )
+        return report
+    report["intact"] = True
+    return report

@@ -16,23 +16,37 @@ for production use:
   ``multiprocessing`` pool with bounded backpressure and ordered
   reassembly whose output is byte-identical to serial execution;
 * :mod:`repro.stream.pipeline` — one-call helpers tying it together.
+
+Fault tolerance lives at three layers: the writer commits chunk frames
+atomically against a fence (rolled back and retried on ``OSError``),
+the executor retries failed worker jobs with capped backoff before
+degrading inline, and the reader's salvage mode skips damaged frames
+and accounts for exactly which snapshots were lost
+(:class:`~repro.stream.reader.SalvageReport`).  :mod:`repro.faults`
+exercises all of it deterministically.
 """
 
 from .executor import AxisJobSpec, ParallelExecutor, encode_axis_buffer
 from .format import (
     ChunkEntry,
+    Quarantine,
     StreamLayout,
     is_stream_container,
     parse_stream,
+    repair_stream,
+    verify_stream,
 )
 from .pipeline import stream_compress, stream_compress_dump, stream_decompress
-from .reader import StreamingReader
+from .reader import BufferStatus, SalvageReport, StreamingReader
 from .writer import StreamingWriter, StreamStats
 
 __all__ = [
     "AxisJobSpec",
+    "BufferStatus",
     "ChunkEntry",
     "ParallelExecutor",
+    "Quarantine",
+    "SalvageReport",
     "StreamLayout",
     "StreamingReader",
     "StreamingWriter",
@@ -40,7 +54,9 @@ __all__ = [
     "encode_axis_buffer",
     "is_stream_container",
     "parse_stream",
+    "repair_stream",
     "stream_compress",
     "stream_compress_dump",
     "stream_decompress",
+    "verify_stream",
 ]

@@ -17,11 +17,21 @@ byte-identical output.  :class:`ParallelExecutor` fans those jobs across a
   start, or a pool that dies mid-stream all fall back to inline serial
   execution of the same job functions, which keeps the output bytes
   unchanged.
+
+Transient failures (a worker killed by the OS, an injected
+:class:`OSError`) are retried with capped exponential backoff before the
+pool is abandoned: a failed pool job is resubmitted up to
+``MAX_RETRIES`` times, and inline execution retries the call the same
+way, so a fault that clears (freed memory, returned scratch space)
+costs a delay instead of the stream.  Every retry and failure is
+counted/logged through :mod:`repro.telemetry`
+(``stream.executor.job_retries`` / ``job_failed``).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
 from collections import deque
 from dataclasses import dataclass
 
@@ -147,6 +157,15 @@ class ParallelExecutor:
         ex.close()
     """
 
+    #: Transient-failure retry policy: a failed job (pool or inline) is
+    #: retried up to MAX_RETRIES times, sleeping
+    #: ``min(RETRY_BASE_DELAY * 2**attempt, RETRY_MAX_DELAY)`` between
+    #: attempts.  Deterministic job errors still surface — they simply
+    #: fail every attempt and raise from the final inline run.
+    MAX_RETRIES = 2
+    RETRY_BASE_DELAY = 0.05
+    RETRY_MAX_DELAY = 1.0
+
     def __init__(self, workers: int = 0, max_pending: int | None = None):
         self.workers = int(workers)
         self._serial = self.workers <= 1
@@ -203,7 +222,7 @@ class ParallelExecutor:
         rerun = 0
         for entry in self._queue:
             if entry[0] == _JOB:
-                entry[1] = entry[2](*entry[3])
+                entry[1] = self._call_with_retry(entry[2], entry[3])
                 entry[0] = _DONE
                 entry[2] = entry[3] = None
                 rerun += 1
@@ -249,12 +268,16 @@ class ParallelExecutor:
         recorder = get_recorder()
         if not self.parallel:
             recorder.count("stream.executor.inline")
-            self._queue.append([_DONE, fn(*args), None, None])
+            self._queue.append(
+                [_DONE, self._call_with_retry(fn, args), None, None]
+            )
             return
         self._ensure_pool()
         if not self.parallel:
             recorder.count("stream.executor.inline")
-            self._queue.append([_DONE, fn(*args), None, None])
+            self._queue.append(
+                [_DONE, self._call_with_retry(fn, args), None, None]
+            )
             return
         while self._inflight() >= self.max_pending:
             recorder.count("stream.executor.backpressure_waits")
@@ -265,7 +288,9 @@ class ParallelExecutor:
             # Pool died between jobs: degrade to inline execution.
             recorder.event("stream.executor.submit_failed", repr(exc))
             self._abandon_pool()
-            self._queue.append([_DONE, fn(*args), None, None])
+            self._queue.append(
+                [_DONE, self._call_with_retry(fn, args), None, None]
+            )
             return
         recorder.count("stream.executor.dispatched")
         self._queue.append([_JOB, handle, fn, args])
@@ -313,21 +338,72 @@ class ParallelExecutor:
     JOB_TIMEOUT = 600.0
 
     def _resolve(self, entry: list) -> None:
-        """Wait for one pool job; on pool failure re-run it inline."""
-        try:
-            value = entry[1].get(timeout=self.JOB_TIMEOUT)
-        except Exception as exc:
-            # Either the pool died or the job itself raised.  Re-running
-            # inline distinguishes the two: a genuine job error surfaces
-            # to the caller, a dead pool is survived transparently.  The
-            # abandon sweep resolves this entry along with the rest.
-            get_recorder().event("stream.executor.job_failed", repr(exc))
-            self._abandon_pool()
-            if entry[0] == _JOB:  # pragma: no cover - defensive
-                entry[1] = entry[2](*entry[3])
-                entry[0] = _DONE
-                entry[2] = entry[3] = None
+        """Wait for one pool job; retry on failure, then re-run inline.
+
+        A failed ``get()`` (worker death, job exception, timeout) is
+        first retried by resubmitting the job to the pool with backoff;
+        only after ``MAX_RETRIES`` resubmissions — or when the pool
+        cannot accept jobs at all — is the pool abandoned and the job
+        re-run inline, where a genuine job error surfaces to the caller
+        while a dead pool is survived transparently.
+        """
+        recorder = get_recorder()
+        attempts = 0
+        while True:
+            try:
+                value = entry[1].get(timeout=self.JOB_TIMEOUT)
+            except Exception as exc:
+                recorder.event("stream.executor.job_failed", repr(exc))
+                if self._pool is not None and attempts < self.MAX_RETRIES:
+                    recorder.count("stream.executor.job_retries")
+                    time.sleep(
+                        min(
+                            self.RETRY_BASE_DELAY * 2**attempts,
+                            self.RETRY_MAX_DELAY,
+                        )
+                    )
+                    attempts += 1
+                    try:
+                        entry[1] = self._pool.apply_async(entry[2], entry[3])
+                        continue
+                    except Exception as resubmit_exc:
+                        recorder.event(
+                            "stream.executor.retry_submit_failed",
+                            repr(resubmit_exc),
+                        )
+                # Retries exhausted or the pool is gone.  The abandon
+                # sweep resolves this entry along with the rest.
+                self._abandon_pool()
+                if entry[0] == _JOB:  # pragma: no cover - defensive
+                    entry[1] = self._call_with_retry(entry[2], entry[3])
+                    entry[0] = _DONE
+                    entry[2] = entry[3] = None
+                return
+            entry[0] = _DONE
+            entry[1] = value
+            entry[2] = entry[3] = None
             return
-        entry[0] = _DONE
-        entry[1] = value
-        entry[2] = entry[3] = None
+
+    def _call_with_retry(self, fn, args):
+        """Run ``fn(*args)`` inline, retrying transient failures.
+
+        Uses the same capped exponential backoff as the pool path; the
+        final attempt's exception propagates, so deterministic job errors
+        still reach the caller.
+        """
+        recorder = get_recorder()
+        for attempt in range(self.MAX_RETRIES + 1):
+            if attempt:
+                recorder.count("stream.executor.job_retries")
+                time.sleep(
+                    min(
+                        self.RETRY_BASE_DELAY * 2 ** (attempt - 1),
+                        self.RETRY_MAX_DELAY,
+                    )
+                )
+            try:
+                return fn(*args)
+            except Exception as exc:
+                recorder.event("stream.executor.job_failed", repr(exc))
+                if attempt >= self.MAX_RETRIES:
+                    raise

@@ -21,10 +21,22 @@ Compression jobs are distributed through a
 ADP trial buffers run in-session (they establish or update cross-buffer
 state), everything else is dispatched per (buffer, axis) — and is
 byte-identical to serial execution by construction.
+
+Crash safety: chunk frames are committed atomically against a *fence* —
+the end of the last fully written frame.  A chunk write that fails with
+:class:`OSError` (torn write, ENOSPC) is rolled back by seeking to the
+fence and truncating, then retried with capped exponential backoff; the
+file therefore never accumulates a partial frame in front of later data,
+and an archive abandoned at any instant is salvageable from its fence.
+Fault counters and events flow through :mod:`repro.telemetry`
+(``stream.writer.write_retries`` / ``rollbacks`` /
+``write_failed``).
 """
 
 from __future__ import annotations
 
+import io
+import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -81,6 +93,10 @@ class StreamingWriter:
     executor:
         Inject a pre-built :class:`ParallelExecutor` (ownership stays with
         the caller); overrides ``workers``.
+    sync:
+        ``fsync`` the output after every committed chunk.  Off by default
+        (the OS flushes on close); turn on for in-situ runs where a node
+        crash must not lose chunks the writer already reported durable.
 
     Example
     -------
@@ -90,12 +106,21 @@ class StreamingWriter:
     ... # doctest: +SKIP
     """
 
+    #: Chunk-commit retry policy: a failed frame write is rolled back to
+    #: the fence and retried up to WRITE_RETRIES times, sleeping
+    #: ``min(RETRY_BASE_DELAY * 2**attempt, RETRY_MAX_DELAY)`` between
+    #: attempts (capped exponential backoff).
+    WRITE_RETRIES = 3
+    RETRY_BASE_DELAY = 0.01
+    RETRY_MAX_DELAY = 0.5
+
     def __init__(
         self,
         target: str | Path | BinaryIO,
         config: MDZConfig | None = None,
         workers: int = 0,
         executor: ParallelExecutor | None = None,
+        sync: bool = False,
     ) -> None:
         self.config = config if config is not None else MDZConfig()
         if isinstance(target, (str, Path)):
@@ -120,7 +145,9 @@ class StreamingWriter:
         self._bounds: list[float] = []
         self._shape: tuple[int, int] | None = None  # (atoms, axes)
         self._buffer_index = 0
-        self._offset = 0
+        self._offset = 0  # also the commit fence: end of last good frame
+        self._rolling = 0  # chained payload CRC32 across committed chunks
+        self._sync = bool(sync)
         self._closed = False
 
     # -- feeding --------------------------------------------------------
@@ -346,16 +373,7 @@ class StreamingWriter:
                 if merge is not None:
                     merge(sideband)
             meta = self._pending.popleft()
-            entry, written = fmt.write_chunk(
-                self._fh,
-                meta.buffer_index,
-                meta.axis,
-                meta.rows,
-                blob,
-                self._offset,
-            )
-            self._chunks.append(entry)
-            self._offset += written
+            written = self._commit_chunk(meta, blob)
             self.stats.chunks += 1
             if recorder.enabled:
                 recorder.count("stream.chunks_written")
@@ -364,3 +382,88 @@ class StreamingWriter:
             # Chunks compressed (or in flight) but not yet on disk.
             recorder.gauge("stream.queue_depth", len(self._pending))
         self.stats.bytes_written = self._offset
+
+    def _commit_chunk(self, meta: _PendingChunk, payload: bytes) -> int:
+        """Atomically append one chunk frame; returns bytes written.
+
+        ``self._offset`` is the commit fence: it only advances when a
+        frame lands completely.  A failed attempt (torn write, injected
+        ``OSError``, ENOSPC) is rolled back by truncating to the fence
+        and retried with capped exponential backoff; when the target
+        cannot seek (pipe, socket) the rollback is impossible, so the
+        error propagates immediately — the salvage scan still recovers
+        everything up to the fence.
+
+        Raises :class:`CompressionError` (chaining the last ``OSError``)
+        after ``WRITE_RETRIES`` failed attempts, leaving the file rolled
+        back to the fence, i.e. a valid recoverable archive.
+        """
+        recorder = get_recorder()
+        last_exc: OSError | None = None
+        for attempt in range(self.WRITE_RETRIES + 1):
+            if attempt:
+                recorder.count("stream.writer.write_retries")
+                recorder.event(
+                    "stream.writer.retry",
+                    f"chunk (buffer {meta.buffer_index}, axis {meta.axis}) "
+                    f"attempt {attempt + 1}: {last_exc!r}",
+                )
+                time.sleep(
+                    min(
+                        self.RETRY_BASE_DELAY * 2 ** (attempt - 1),
+                        self.RETRY_MAX_DELAY,
+                    )
+                )
+            try:
+                entry, written = fmt.write_chunk(
+                    self._fh,
+                    meta.buffer_index,
+                    meta.axis,
+                    meta.rows,
+                    payload,
+                    self._offset,
+                    self._rolling,
+                )
+                self._fh.flush()
+                if self._sync:
+                    self._fsync()
+            except OSError as exc:
+                last_exc = exc
+                if not self._rollback_to_fence():
+                    break  # unseekable target: cannot safely retry
+                continue
+            self._chunks.append(entry)
+            self._offset += written
+            self._rolling = entry.rolling
+            return written
+        recorder.event("stream.writer.write_failed", repr(last_exc))
+        raise CompressionError(
+            f"chunk (buffer {meta.buffer_index}, axis {meta.axis}) could "
+            f"not be written after {self.WRITE_RETRIES + 1} attempts: "
+            f"{last_exc}"
+        ) from last_exc
+
+    def _rollback_to_fence(self) -> bool:
+        """Truncate the output back to the last committed frame.
+
+        Returns False when the target does not support seek/truncate
+        (pipes, sockets) or the rollback itself failed — in both cases a
+        retry would append after garbage, so the caller must give up.
+        """
+        try:
+            self._fh.seek(self._offset)
+            self._fh.truncate()
+        except (OSError, ValueError, AttributeError, io.UnsupportedOperation):
+            return False
+        get_recorder().count("stream.writer.rollbacks")
+        return True
+
+    def _fsync(self) -> None:
+        """Force the committed frame to stable storage (``sync=True``)."""
+        fileno = getattr(self._fh, "fileno", None)
+        if fileno is None:
+            return
+        try:
+            os.fsync(fileno())
+        except (OSError, ValueError, io.UnsupportedOperation):
+            pass  # in-memory targets have no backing descriptor

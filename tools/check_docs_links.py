@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Check that the repo's markdown documentation does not reference
+things that do not exist.
+
+Three classes of reference are verified across every tracked ``*.md``
+file:
+
+* **relative markdown links** — ``[text](path)`` must resolve to a file
+  or directory in the repository (external ``http(s)``/``mailto``
+  links are skipped: CI must not depend on the network);
+* **anchors** — ``[text](path#heading)`` and in-page ``[text](#h)``
+  must name a heading that exists in the target file, using GitHub's
+  heading-to-anchor slug rules;
+* **backticked repo paths** — `` `docs/formats.md` ``-style mentions of
+  repository files must point at files that exist, so prose does not
+  rot when modules are renamed.
+
+Exit status is the number of broken references (0 = clean).  Run from
+anywhere; the repo root is located relative to this file.
+
+Usage::
+
+    python tools/check_docs_links.py [--root DIR] [-v]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# [text](target) — excluding images' leading "!" is unnecessary: image
+# targets must exist too.  Nested brackets in the text are out of scope.
+_LINK = re.compile(r"\[[^\]\n]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"^\s*(```|~~~)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+# `path/with.ext` mentions in prose.  Require a slash plus a known doc/
+# code extension so `a.b` attribute spellings and bare module names are
+# not mistaken for paths.
+_BACKTICK_PATH = re.compile(
+    r"`([A-Za-z0-9_.\-/]+/[A-Za-z0-9_.\-]+\."
+    r"(?:py|md|yml|yaml|json|jsonl|txt|toml|cfg|sh))`"
+)
+
+_SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _markdown_files(root: Path) -> list[Path]:
+    skip_dirs = {
+        ".git",
+        ".hypothesis",
+        ".pytest_cache",
+        ".claude",
+        "__pycache__",
+        "node_modules",
+    }
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if not skip_dirs.intersection(p.name for p in path.parents):
+            files.append(path)
+    return files
+
+
+def _strip_fences(text: str) -> list[str]:
+    """Return the file's lines with fenced code blocks blanked out.
+
+    Line numbers are preserved (blanked, not removed) so reports point
+    at the real line.  Links inside code fences are examples, not
+    references.
+    """
+
+    out = []
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else line)
+    return out
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's heading -> anchor id transformation (the common subset:
+    lowercase, strip punctuation except hyphens/underscores, spaces to
+    hyphens).  Inline code/links inside the heading are unwrapped first.
+    """
+
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # [t](u) -> t
+    text = text.replace("`", "")
+    text = text.lower().strip()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set[str]:
+    slugs: dict[str, int] = {}
+    out = set()
+    for line in _strip_fences(path.read_text(encoding="utf-8")):
+        m = _HEADING.match(line)
+        if not m:
+            continue
+        slug = _slugify(m.group(2))
+        n = slugs.get(slug, 0)
+        slugs[slug] = n + 1
+        out.add(slug if n == 0 else f"{slug}-{n}")
+    return out
+
+
+def check(root: Path, verbose: bool = False) -> list[str]:
+    problems: list[str] = []
+    anchor_cache: dict[Path, set[str]] = {}
+
+    def anchors_of(path: Path) -> set[str]:
+        if path not in anchor_cache:
+            anchor_cache[path] = _anchors(path)
+        return anchor_cache[path]
+
+    for md in _markdown_files(root):
+        rel = md.relative_to(root)
+        lines = _strip_fences(md.read_text(encoding="utf-8"))
+        checked = 0
+        for lineno, line in enumerate(lines, 1):
+            for m in _LINK.finditer(line):
+                target = m.group(1)
+                if target.startswith(_SKIP_SCHEMES):
+                    continue
+                checked += 1
+                path_part, _, anchor = target.partition("#")
+                if path_part:
+                    dest = (md.parent / path_part).resolve()
+                    if not dest.exists():
+                        problems.append(
+                            f"{rel}:{lineno}: broken link -> {target}"
+                        )
+                        continue
+                else:
+                    dest = md  # in-page anchor
+                if anchor:
+                    if dest.suffix != ".md" or dest.is_dir():
+                        continue  # anchors into non-markdown: not checkable
+                    if anchor.lower() not in anchors_of(dest):
+                        problems.append(
+                            f"{rel}:{lineno}: missing anchor -> {target}"
+                        )
+            for m in _BACKTICK_PATH.finditer(line):
+                target = m.group(1)
+                checked += 1
+                # Prose shortens `src/repro/sz/huffman.py` to
+                # `sz/huffman.py` or `repro/sz/huffman.py`; accept any
+                # of the conventional roots.
+                candidates = (
+                    root / target,
+                    root / "src" / target,
+                    root / "src" / "repro" / target,
+                )
+                if not any(c.exists() for c in candidates):
+                    problems.append(
+                        f"{rel}:{lineno}: backticked path does not exist"
+                        f" -> `{target}`"
+                    )
+        if verbose:
+            print(f"{rel}: {checked} references checked")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: parent of tools/)",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    problems = check(args.root.resolve(), verbose=args.verbose)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} broken reference(s)", file=sys.stderr)
+    else:
+        print("docs links ok")
+    return min(len(problems), 255)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
