@@ -1,0 +1,203 @@
+"""Load test for the compression service: concurrent session round trips.
+
+Boots an in-process :class:`~repro.service.CompressionService` on an
+ephemeral port and drives ``MDZ_SERVICE_CLIENTS`` concurrent tenants
+(default 50) through the full session lifecycle — create, batched feeds,
+close, archive download, server-side verify — each on its own keep-alive
+connection.  Admission-control rejections (``429 over_capacity``) are
+*expected* under this load and are retried with the server's
+``Retry-After`` hint; anything else counting as an error fails the run.
+
+The numbers land in ``benchmarks/results/BENCH_service.json`` (req/s,
+p50/p90/p99 latency, error rate, retry count) so CI can gate on a
+nonzero error rate or a p99 blow-up — see the ``service-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+import numpy as np
+
+from conftest import record, run_once
+from repro.service import CompressionService, ServiceClient, ServiceConfig
+
+#: Concurrent tenants (the issue's acceptance floor is 50).
+N_CLIENTS = int(os.environ.get("MDZ_SERVICE_CLIENTS", "50"))
+#: Snapshots each tenant streams, split into batched feeds.
+N_SNAPSHOTS = int(os.environ.get("MDZ_SERVICE_SNAPSHOTS", "8"))
+#: Snapshots per ``(T, N, axes)`` feed request.
+BATCH = 4
+ATOMS = 48
+#: Per-request cap on 429 retries before it counts as a real error.
+MAX_RETRIES = 500
+
+
+def _trajectory(seed: int) -> np.ndarray:
+    """Level-structured synthetic positions, distinct per tenant."""
+    rng = np.random.default_rng(1000 + seed)
+    levels = rng.integers(0, 8, (ATOMS, 3)) * 2.0
+    drift = np.cumsum(rng.normal(0, 0.01, (N_SNAPSHOTS, 1, 3)), axis=0)
+    noise = rng.normal(0, 0.03, (N_SNAPSHOTS, ATOMS, 3))
+    return (levels[None] + drift + noise).astype(np.float32)
+
+
+async def _timed(latencies, counters, fn, *args, **kwargs):
+    """One request with 429-aware retries; returns the final response."""
+    for _ in range(MAX_RETRIES):
+        t0 = time.perf_counter()
+        response = await fn(*args, **kwargs)
+        latencies.append((time.perf_counter() - t0) * 1e3)
+        counters["requests"] += 1
+        if response.status != 429:
+            if response.status >= 400:
+                counters["errors"] += 1
+                counters["failures"].append(
+                    (response.status, response.body[:200].decode("latin-1"))
+                )
+            return response
+        counters["retries"] += 1
+        await asyncio.sleep(
+            min(float(response.headers.get("retry-after", "0.05")), 0.05)
+        )
+    counters["errors"] += 1
+    counters["failures"].append((429, "retry budget exhausted"))
+    return response
+
+
+async def _client_round_trip(port, seed, latencies, counters):
+    """create -> batched feeds -> close -> archive -> verify for one tenant."""
+    traj = _trajectory(seed)
+    async with ServiceClient("127.0.0.1", port) as client:
+        created = await _timed(
+            latencies,
+            counters,
+            client.post_json,
+            "/v1/sessions",
+            {"error_bound": 1e-3, "buffer_size": BATCH},
+        )
+        if created.status != 201:
+            return
+        token = created.json()["token"]
+        for start in range(0, N_SNAPSHOTS, BATCH):
+            fed = await _timed(
+                latencies,
+                counters,
+                client.post_array,
+                f"/v1/sessions/{token}/feed",
+                traj[start : start + BATCH],
+            )
+            if fed.status != 200:
+                return
+        closed = await _timed(
+            latencies, counters, client.request,
+            "POST", f"/v1/sessions/{token}/close",
+        )
+        if closed.status != 200:
+            return
+        stats = closed.json()
+        if stats["snapshots"] != N_SNAPSHOTS:
+            counters["errors"] += 1
+            counters["failures"].append((200, f"lost snapshots: {stats}"))
+            return
+        archive = await _timed(
+            latencies, counters, client.request,
+            "GET", f"/v1/sessions/{token}/archive",
+        )
+        if archive.status != 200:
+            return
+        counters["archive_bytes"] += len(archive.body)
+        counters["raw_bytes"] += traj.nbytes
+        verified = await _timed(
+            latencies, counters, client.request,
+            "POST", "/v1/verify", {}, archive.body,
+        )
+        if verified.status == 200 and not verified.json().get("intact", False):
+            counters["errors"] += 1
+            counters["failures"].append((200, "archive failed verify"))
+
+
+async def _run_load() -> dict:
+    service = CompressionService(ServiceConfig(port=0, session_ttl=600.0))
+    await service.start()
+    latencies: list[float] = []
+    counters = {
+        "requests": 0,
+        "retries": 0,
+        "errors": 0,
+        "archive_bytes": 0,
+        "raw_bytes": 0,
+        "failures": [],
+    }
+    t0 = time.perf_counter()
+    try:
+        await asyncio.gather(
+            *(
+                _client_round_trip(service.port, seed, latencies, counters)
+                for seed in range(N_CLIENTS)
+            )
+        )
+        elapsed = time.perf_counter() - t0
+    finally:
+        await service.shutdown()
+    lat = np.asarray(latencies)
+    return {
+        "benchmark": "service_load",
+        "clients": N_CLIENTS,
+        "snapshots_per_client": N_SNAPSHOTS,
+        "batch": BATCH,
+        "atoms": ATOMS,
+        "max_pending": service.config.max_pending,
+        "requests": counters["requests"],
+        "retries_429": counters["retries"],
+        "errors": counters["errors"],
+        "error_rate": counters["errors"] / max(counters["requests"], 1),
+        "failures": counters["failures"][:10],
+        "elapsed_s": elapsed,
+        "req_per_s": counters["requests"] / elapsed,
+        "latency_ms": {
+            "p50": float(np.percentile(lat, 50)),
+            "p90": float(np.percentile(lat, 90)),
+            "p99": float(np.percentile(lat, 99)),
+            "max": float(lat.max()),
+        },
+        "compression_ratio": (
+            counters["raw_bytes"] / counters["archive_bytes"]
+            if counters["archive_bytes"]
+            else None
+        ),
+    }
+
+
+def run_experiment() -> dict:
+    return asyncio.run(_run_load())
+
+
+def test_service_load(benchmark, results_dir):
+    results = run_once(benchmark, run_experiment)
+    (results_dir / "BENCH_service.json").write_text(
+        json.dumps(results, indent=2) + "\n"
+    )
+    lat = results["latency_ms"]
+    record(
+        results_dir,
+        "service_load",
+        "\n".join(
+            [
+                f"Service load — {results['clients']} concurrent tenants, "
+                f"{results['snapshots_per_client']} snapshots each",
+                f"{'requests':>12s}{'req/s':>10s}{'p50 ms':>10s}"
+                f"{'p90 ms':>10s}{'p99 ms':>10s}{'429s':>8s}{'errors':>8s}",
+                f"{results['requests']:12d}{results['req_per_s']:10.1f}"
+                f"{lat['p50']:10.2f}{lat['p90']:10.2f}{lat['p99']:10.2f}"
+                f"{results['retries_429']:8d}{results['errors']:8d}",
+                f"compression ratio over the wire: "
+                f"{results['compression_ratio']:.2f}",
+            ]
+        ),
+    )
+    assert results["clients"] >= 50 or "MDZ_SERVICE_CLIENTS" in os.environ
+    assert results["errors"] == 0, results["failures"]

@@ -12,6 +12,7 @@ Usage (after ``python setup.py develop`` / ``pip install -e .``)::
     mdz stats     traj.npy                     # per-stage time/byte profile
     mdz trace     traj.npy -o trace.json --provenance prov.jsonl
     mdz bench     traj.npy --compressors mdz,sz2,tng
+    mdz serve     --port 8321                  # compression-as-a-service
 
 ``compress`` loads the whole trajectory and writes a monolithic ``MDZ1``
 container; ``stream`` feeds snapshots one at a time through the streaming
@@ -38,6 +39,11 @@ it, what ADP measured, the entropy fan-out, raw vs. compressed bytes.
 ``compress``/``stream``/``stats``/``trace`` all accept
 ``--metrics-json PATH`` to dump the full telemetry snapshot for machine
 consumption.
+
+``serve`` runs the asyncio HTTP front end (:mod:`repro.service`):
+one-shot compress/decompress/verify endpoints plus token-keyed
+multi-tenant streaming sessions — see ``docs/service.md`` for the API
+reference and backpressure semantics.
 
 Input trajectories are ``.npy`` arrays of shape (snapshots, atoms, 3) (or
 (snapshots, atoms)) or LAMMPS-style text dumps (``.dump``/``.lammpstrj``).
@@ -193,7 +199,38 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         wall_seconds=elapsed,
         container_bytes=stats.bytes_written,
         raw_bytes=stats.raw_bytes,
+        stream=stats.to_dict(),
     )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        spool_dir=args.spool_dir,
+        max_pending=args.max_pending,
+        max_body=args.max_body_mb * 1024 * 1024,
+        session_ttl=args.session_ttl,
+    )
+    print(
+        f"mdz service on http://{config.host}:{config.port} "
+        f"(max-pending {config.max_pending}, session TTL "
+        f"{config.session_ttl:.0f}s) — Ctrl-C for graceful shutdown"
+    )
+    try:
+        asyncio.run(serve(config))
+    except KeyboardInterrupt:
+        # Pre-3.11 path: the interrupt escapes asyncio.run after the
+        # graceful-shutdown finally block already ran.
+        pass
+    # On 3.11+ asyncio.run converts Ctrl-C into a task cancellation that
+    # serve() absorbs after finalizing sessions, so we land here either way.
+    print("shutdown: live sessions finalized")
     return 0
 
 
@@ -694,6 +731,38 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--error-bound", type=float, default=1e-3)
     bench.add_argument("--buffer-size", type=int, default=10)
     bench.set_defaults(func=_cmd_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the compression service (HTTP API, streaming sessions)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321)
+    serve.add_argument(
+        "--spool-dir",
+        metavar="DIR",
+        help="directory for session archives (default: a fresh tempdir)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=16,
+        help="CPU-bound requests admitted at once; beyond it requests "
+        "get 429 + Retry-After (default 16)",
+    )
+    serve.add_argument(
+        "--max-body-mb",
+        type=int,
+        default=64,
+        help="request body cap in MB (default 64)",
+    )
+    serve.add_argument(
+        "--session-ttl",
+        type=float,
+        default=300.0,
+        help="idle seconds before a streaming session expires (default 300)",
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 
@@ -703,13 +772,15 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
-    except OSError as exc:
-        # Missing input, unreadable path, full disk: one line, not a
-        # traceback (covers FileNotFoundError, IsADirectoryError, ...).
-        print(f"error: {exc}", file=sys.stderr)
+    except (ReproError, OSError) as exc:
+        # One line, not a traceback; OSError covers missing input,
+        # unreadable paths, full disks (FileNotFoundError, ...).  The
+        # bracketed code is the same stable string the HTTP service puts
+        # in its JSON error bodies, so scripts branch on one vocabulary
+        # across both surfaces.
+        from .service.errors import error_code
+
+        print(f"error: [{error_code(exc)}] {exc}", file=sys.stderr)
         return 1
 
 

@@ -1,0 +1,59 @@
+"""Compression-as-a-service: an asyncio HTTP front end for the library.
+
+The ROADMAP's "heavy traffic" direction: everything underneath —
+crash-safe streaming writes, span tracing, the cached entropy engine —
+is already service-grade, and this package puts a network surface on it
+with zero new dependencies (stdlib ``asyncio`` plus a minimal HTTP/1.1
+layer in :mod:`repro.service.http`).
+
+* :class:`CompressionService` / :class:`ServiceConfig` /
+  :func:`serve` — the server (:mod:`repro.service.app`): one-shot
+  ``compress``/``decompress``/``verify`` endpoints, token-keyed
+  multi-tenant streaming sessions over
+  :class:`~repro.stream.writer.StreamingWriter`, bounded admission
+  control (429 + ``Retry-After`` instead of unbounded queueing),
+  per-tenant telemetry/trace endpoints, idle-session expiry, and a
+  graceful shutdown that seals every live archive behind the writer's
+  commit fence;
+* :class:`SessionManager` — the session lifecycle
+  (:mod:`repro.service.sessions`);
+* :mod:`repro.service.errors` — the stable ``{code, message, detail}``
+  error contract shared with the CLI;
+* :mod:`repro.service.payload` — binary numpy framing
+  (``X-MDZ-Dtype``/``X-MDZ-Shape`` headers over raw bytes);
+* :class:`ServiceClient` — a dependency-free asyncio client used by the
+  tests and the load harness.
+
+Wire-level reference: ``docs/service.md``.  CLI entry point:
+``mdz serve``.
+"""
+
+from .app import CompressionService, ServiceConfig, serve
+from .client import ClientResponse, ServiceClient
+from .errors import (
+    ERROR_CODES,
+    ServiceError,
+    error_body,
+    error_code,
+    http_status,
+)
+from .payload import decode_array, encode_array
+from .sessions import Session, SessionManager, config_from_request
+
+__all__ = [
+    "ClientResponse",
+    "CompressionService",
+    "ERROR_CODES",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "Session",
+    "SessionManager",
+    "config_from_request",
+    "decode_array",
+    "encode_array",
+    "error_body",
+    "error_code",
+    "http_status",
+    "serve",
+]

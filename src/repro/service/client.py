@@ -1,0 +1,116 @@
+"""A tiny asyncio HTTP client for the service: tests and load harness.
+
+Deliberately minimal — one connection per :class:`ServiceClient`, HTTP/1.1
+keep-alive, ``Content-Length`` bodies only — because its job is to talk
+to :mod:`repro.service.http`, not the open web.  It exists so the test
+suite and ``benchmarks/test_service_load.py`` need no third-party HTTP
+dependency, and it doubles as executable documentation of the wire
+protocol (see the session round trip in :meth:`ServiceClient.request`
+call sites).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+
+from .payload import encode_array
+
+
+class ClientResponse:
+    """Status, headers, body of one exchange, with lazy JSON decoding."""
+
+    def __init__(self, status: int, headers: dict[str, str], body: bytes):
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> dict:
+        return json.loads(self.body)
+
+
+class ServiceClient:
+    """One keep-alive connection to a running service."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        headers: dict[str, str] | None = None,
+        body: bytes = b"",
+    ) -> ClientResponse:
+        """One request/response exchange on the persistent connection."""
+        if self._writer is None:
+            await self.connect()
+        head = [f"{method} {path} HTTP/1.1", f"Host: {self.host}"]
+        merged = {"Content-Length": str(len(body))}
+        if headers:
+            merged.update(headers)
+        head.extend(f"{k}: {v}" for k, v in merged.items())
+        self._writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        self._writer.write(body)
+        await self._writer.drain()
+        return await self._read_response()
+
+    async def _read_response(self) -> ClientResponse:
+        raw = await self._reader.readuntil(b"\r\n\r\n")
+        lines = raw.decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ")[1])
+        resp_headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            resp_headers[name.strip().lower()] = value.strip()
+        length = int(resp_headers.get("content-length", "0"))
+        body = await self._reader.readexactly(length) if length else b""
+        if resp_headers.get("connection", "").lower() == "close":
+            await self.close()
+        return ClientResponse(status, resp_headers, body)
+
+    # -- convenience wrappers over the JSON/binary surfaces -------------
+
+    async def get_json(self, path: str) -> ClientResponse:
+        return await self.request("GET", path)
+
+    async def post_json(self, path: str, payload: dict) -> ClientResponse:
+        return await self.request(
+            "POST",
+            path,
+            {"Content-Type": "application/json"},
+            json.dumps(payload).encode(),
+        )
+
+    async def post_array(self, path: str, arr: np.ndarray) -> ClientResponse:
+        headers, body = encode_array(arr)
+        return await self.request("POST", path, headers, body)

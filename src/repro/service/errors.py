@@ -1,0 +1,163 @@
+"""Structured errors for the service boundary.
+
+Every error that crosses the HTTP surface is serialized as a stable JSON
+body ``{"error": {"code", "message", "detail"}}``.  The ``code`` strings
+are the machine-readable contract: clients branch on them, the CLI
+prints the same strings in its ``error: [<code>] ...`` lines, and
+``tests/test_service.py`` asserts the two surfaces agree.
+
+Two layers produce errors:
+
+* **library errors** — :class:`~repro.exceptions.ReproError` subclasses
+  raised by the compressor itself (bad input, malformed container).
+  :func:`error_code` maps each class to its stable code string and
+  :func:`http_status` to the HTTP status it travels with (all client
+  errors: the request carried data the library rejects);
+* **service errors** — :class:`ServiceError`, raised by the HTTP layer
+  itself (routing, framing, admission control).  Each carries its own
+  status/code, and over-capacity rejections carry a ``Retry-After``
+  hint so well-behaved clients back off instead of hammering.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import (
+    CompressionError,
+    ConfigurationError,
+    ContainerFormatError,
+    DecompressionError,
+    ReproError,
+    SimulationError,
+    UnsupportedDatasetError,
+)
+
+#: Library exception class -> stable error-code string.  Ordered most
+#: specific first; :func:`error_code` walks it with ``isinstance`` so a
+#: ``ContainerFormatError`` maps to its own code, not its parent's.
+ERROR_CODES: tuple[tuple[type[BaseException], str], ...] = (
+    (ContainerFormatError, "container_malformed"),
+    (UnsupportedDatasetError, "unsupported_dataset"),
+    (DecompressionError, "decompression_failed"),
+    (CompressionError, "compression_failed"),
+    (ConfigurationError, "invalid_config"),
+    (SimulationError, "simulation_failed"),
+    (ReproError, "repro_error"),
+    (OSError, "io_error"),
+)
+
+#: Fallback code for anything not in :data:`ERROR_CODES`.
+INTERNAL_CODE = "internal_error"
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable code string for one exception instance."""
+    if isinstance(exc, ServiceError):
+        return exc.code
+    for cls, code in ERROR_CODES:
+        if isinstance(exc, cls):
+            return code
+    return INTERNAL_CODE
+
+
+def http_status(exc: BaseException) -> int:
+    """The HTTP status one exception travels with.
+
+    Library errors are client errors (the request carried input the
+    library rejects -> 400); anything unmapped is a server bug (500).
+    """
+    if isinstance(exc, ServiceError):
+        return exc.status
+    if isinstance(exc, (ReproError, OSError)):
+        return 400
+    return 500
+
+
+def error_body(exc: BaseException, detail: str = "") -> dict:
+    """The JSON error body for one exception: ``{code, message, detail}``."""
+    if isinstance(exc, ServiceError) and not detail:
+        detail = exc.detail
+    return {
+        "error": {
+            "code": error_code(exc),
+            "message": str(exc) or exc.__class__.__name__,
+            "detail": detail,
+        }
+    }
+
+
+class ServiceError(ReproError):
+    """An error produced by the service layer itself.
+
+    Carries everything the HTTP layer needs to serialize it: status,
+    stable code string, optional human detail, and an optional
+    ``Retry-After`` seconds hint (backpressure rejections).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        detail: str = "",
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.code = code
+        self.detail = detail
+        self.retry_after = retry_after
+
+
+def bad_request(message: str, detail: str = "", code: str = "bad_request") -> ServiceError:
+    """400: the request itself is malformed (framing, parameters)."""
+    return ServiceError(400, code, message, detail)
+
+
+def not_found(message: str, detail: str = "") -> ServiceError:
+    """404: no such route or session token."""
+    return ServiceError(404, "not_found", message, detail)
+
+
+def method_not_allowed(message: str) -> ServiceError:
+    """405: the route exists but not for this HTTP method."""
+    return ServiceError(405, "method_not_allowed", message)
+
+def conflict(message: str, detail: str = "") -> ServiceError:
+    """409: the session is not in a state that allows this operation."""
+    return ServiceError(409, "session_state", message, detail)
+
+
+def gone(message: str, detail: str = "") -> ServiceError:
+    """410: the session existed but was expired or aborted."""
+    return ServiceError(410, "session_gone", message, detail)
+
+
+def payload_too_large(limit: int) -> ServiceError:
+    """413: request body exceeds the configured cap."""
+    return ServiceError(
+        413,
+        "payload_too_large",
+        f"request body exceeds the {limit}-byte limit",
+    )
+
+
+def over_capacity(pending: int, limit: int, retry_after: float = 1.0) -> ServiceError:
+    """429: admission control rejected the request (bounded queue full)."""
+    return ServiceError(
+        429,
+        "over_capacity",
+        f"server is at capacity ({pending}/{limit} requests in flight)",
+        "retry with backoff; see Retry-After",
+        retry_after=retry_after,
+    )
+
+
+def shutting_down(retry_after: float = 5.0) -> ServiceError:
+    """503: the server is draining for shutdown."""
+    return ServiceError(
+        503,
+        "shutting_down",
+        "server is shutting down",
+        "in-flight sessions are being finalized",
+        retry_after=retry_after,
+    )

@@ -1,0 +1,189 @@
+"""Minimal asyncio HTTP/1.1 layer: just enough protocol for the service.
+
+The container ships no HTTP framework, so this module implements the
+slice of RFC 9112 the service actually needs over plain
+``asyncio.StreamReader``/``StreamWriter``:
+
+* request line + headers (bounded), ``Content-Length`` bodies (bounded
+  by the caller's ``max_body``) — no chunked transfer encoding, no
+  trailers, no upgrades;
+* keep-alive by default (HTTP/1.1 semantics), honoring
+  ``Connection: close`` from either side;
+* every response carries an explicit ``Content-Length``, so framing is
+  never ambiguous.
+
+Responses are plain :class:`Response` values; helpers build the JSON,
+binary, and structured-error shapes used by :mod:`repro.service.app`.
+Protocol violations raise :class:`ProtocolError`, which the connection
+loop answers with a structured 400 and a close — a malformed peer never
+takes the server down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from .errors import ServiceError, error_body, http_status, payload_too_large
+
+#: Cap on the request line + header block, bytes.  Generous for any real
+#: client, small enough that a garbage peer cannot balloon memory.
+MAX_HEADER_BYTES = 32 * 1024
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    410: "Gone",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(Exception):
+    """The peer sent bytes that are not a parseable HTTP/1.1 request."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> dict:
+        """The body parsed as a JSON object (empty body -> ``{}``)."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body)
+        except ValueError as exc:
+            raise ServiceError(
+                400, "bad_json", f"request body is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise ServiceError(
+                400, "bad_json", "request body must be a JSON object"
+            )
+        return payload
+
+
+@dataclass
+class Response:
+    """One HTTP response about to be serialized."""
+
+    status: int = 200
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+
+def json_response(payload: dict, status: int = 200) -> Response:
+    body = (json.dumps(payload, indent=2) + "\n").encode()
+    return Response(
+        status, {"Content-Type": "application/json"}, body
+    )
+
+
+def binary_response(headers: dict, body: bytes, status: int = 200) -> Response:
+    merged = {"Content-Type": "application/octet-stream"}
+    merged.update(headers)
+    return Response(status, merged, body)
+
+
+def error_response(exc: BaseException, status: int | None = None) -> Response:
+    """Serialize any exception as its structured JSON error body."""
+    resp = json_response(
+        error_body(exc), status if status is not None else http_status(exc)
+    )
+    retry_after = getattr(exc, "retry_after", None)
+    if retry_after is not None:
+        resp.headers["Retry-After"] = str(int(max(retry_after, 1)))
+    return resp
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int
+) -> Request | None:
+    """Read one request; ``None`` on a clean EOF between requests.
+
+    Raises :class:`ProtocolError` on malformed framing and the
+    ``payload_too_large`` :class:`ServiceError` when ``Content-Length``
+    exceeds ``max_body`` (the body is not read in that case — the
+    connection is closed rather than drained).
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF: the peer is done with the connection
+        raise ProtocolError("connection closed mid-request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError("request head exceeds the header limit") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError("request head exceeds the header limit")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed request line {lines[0]!r}")
+    method, target, version = parts
+    split = urlsplit(target)
+    path = unquote(split.path)
+    query = dict(parse_qsl(split.query))
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if version == "HTTP/1.0" and "connection" not in headers:
+        headers["connection"] = "close"
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError as exc:
+        raise ProtocolError(
+            f"unparseable Content-Length {length_text!r}"
+        ) from exc
+    if length < 0:
+        raise ProtocolError(f"negative Content-Length {length}")
+    if length > max_body:
+        raise payload_too_large(max_body)
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise ProtocolError("connection closed mid-body") from exc
+    return Request(method, path, query, headers, body)
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, response: Response, keep_alive: bool
+) -> None:
+    """Serialize one response and flush it."""
+    reason = _REASONS.get(response.status, "Unknown")
+    head = [f"HTTP/1.1 {response.status} {reason}"]
+    headers = dict(response.headers)
+    headers["Content-Length"] = str(len(response.body))
+    headers["Connection"] = "keep-alive" if keep_alive else "close"
+    head.extend(f"{name}: {value}" for name, value in headers.items())
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+    writer.write(response.body)
+    await writer.drain()

@@ -1,0 +1,90 @@
+"""Binary numpy payload framing for the HTTP surface.
+
+Arrays cross the wire as raw C-order bytes plus two headers:
+
+* ``X-MDZ-Dtype`` — a numpy dtype string (``float32``, ``<f8``, ...);
+* ``X-MDZ-Shape`` — comma-separated dimensions (``100,3`` for one
+  snapshot, ``20,100,3`` for a batched feed or a whole trajectory).
+
+No pickling, no JSON-encoding of megabytes of floats: the body is
+exactly ``prod(shape) * itemsize`` bytes, verified before any numpy
+call.  Responses use the same two headers, so a round trip needs no
+content negotiation.  Malformed framing maps to structured 400s
+(:mod:`repro.service.errors`); object dtypes are rejected outright (a
+deserialization gadget has no business in a compression payload).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import bad_request
+
+#: Dtype kinds accepted on the wire: floats, ints, uints.
+_ALLOWED_KINDS = frozenset("fiu")
+
+
+def parse_dtype(text: str) -> np.dtype:
+    """Parse and vet the ``X-MDZ-Dtype`` header."""
+    try:
+        dtype = np.dtype(str(text))
+    except TypeError as exc:
+        raise bad_request(
+            f"unparseable dtype {text!r}", str(exc), code="bad_dtype"
+        ) from exc
+    if dtype.kind not in _ALLOWED_KINDS or dtype.hasobject:
+        raise bad_request(
+            f"dtype {text!r} is not a numeric wire type",
+            "only float/int/uint dtypes are accepted",
+            code="bad_dtype",
+        )
+    return dtype
+
+
+def parse_shape(text: str) -> tuple[int, ...]:
+    """Parse and vet the ``X-MDZ-Shape`` header."""
+    try:
+        shape = tuple(int(part) for part in str(text).split(","))
+    except ValueError as exc:
+        raise bad_request(
+            f"unparseable shape {text!r}", str(exc), code="bad_shape"
+        ) from exc
+    if not shape or any(dim <= 0 for dim in shape):
+        raise bad_request(
+            f"shape {text!r} must be positive dimensions",
+            code="bad_shape",
+        )
+    return shape
+
+
+def decode_array(headers: dict, body: bytes) -> np.ndarray:
+    """Decode one framed array from request headers + raw body bytes."""
+    dtype_text = headers.get("x-mdz-dtype")
+    shape_text = headers.get("x-mdz-shape")
+    if dtype_text is None or shape_text is None:
+        raise bad_request(
+            "binary array payloads require X-MDZ-Dtype and X-MDZ-Shape "
+            "headers",
+            code="missing_header",
+        )
+    dtype = parse_dtype(dtype_text)
+    shape = parse_shape(shape_text)
+    expected = int(np.prod(shape)) * dtype.itemsize
+    if len(body) != expected:
+        raise bad_request(
+            f"body is {len(body)} bytes but shape {shape} x {dtype} "
+            f"needs {expected}",
+            code="payload_size_mismatch",
+        )
+    return np.frombuffer(body, dtype=dtype).reshape(shape)
+
+
+def encode_array(arr: np.ndarray) -> tuple[dict, bytes]:
+    """Frame one array for a response: ``(headers, body)``."""
+    arr = np.ascontiguousarray(arr)
+    headers = {
+        "Content-Type": "application/octet-stream",
+        "X-MDZ-Dtype": arr.dtype.name,
+        "X-MDZ-Shape": ",".join(str(dim) for dim in arr.shape),
+    }
+    return headers, arr.tobytes()

@@ -114,12 +114,17 @@ def encode_axis_buffer(spec: AxisJobSpec, batch: np.ndarray):
     """
     if spec.trace is None and not spec.telemetry:
         return _encode(spec, batch)
-    from ..telemetry import MetricsRecorder, set_recorder
+    from ..telemetry import MetricsRecorder, recording
     from ..telemetry.tracing import TracingRecorder
 
     recorder = TracingRecorder() if spec.trace is not None else MetricsRecorder()
-    previous = set_recorder(recorder)
-    try:
+    # Install through the context-local slot, not the process-global one:
+    # inline fallback jobs may run on several threads at once (the HTTP
+    # service feeds tenants from a thread pool), and a global set/restore
+    # pair interleaved across threads can resurrect another job's
+    # recorder as the "previous" value.  The ContextVar scope is private
+    # to this thread's context, so concurrent jobs cannot clobber it.
+    with recording(recorder):
         if spec.trace is not None:
             parent, attrs = spec.trace
             with recorder.span(
@@ -128,8 +133,6 @@ def encode_axis_buffer(spec: AxisJobSpec, batch: np.ndarray):
                 blob = _encode(spec, batch)
         else:
             blob = _encode(spec, batch)
-    finally:
-        set_recorder(previous)
     return blob, recorder.snapshot()
 
 

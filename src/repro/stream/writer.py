@@ -70,6 +70,24 @@ class StreamStats:
         """Raw float32 footprint over container bytes written so far."""
         return self.raw_bytes / max(self.bytes_written, 1)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form of the session statistics.
+
+        Used by the service's session-close endpoint and
+        ``mdz stream --metrics-json`` so every surface reports the same
+        fields (the derived ``compression_ratio`` included) instead of
+        plucking attributes ad hoc.
+        """
+        return {
+            "snapshots": self.snapshots,
+            "buffers": self.buffers,
+            "chunks": self.chunks,
+            "raw_bytes": self.raw_bytes,
+            "bytes_written": self.bytes_written,
+            "compress_seconds": self.compress_seconds,
+            "compression_ratio": self.compression_ratio,
+        }
+
 
 @dataclass
 class _PendingChunk:

@@ -18,6 +18,7 @@ re-plumbing constructor arguments through the pipeline layers.
 
 from __future__ import annotations
 
+import contextvars
 import math
 import threading
 import time
@@ -322,18 +323,39 @@ class MetricsRecorder(Recorder):
 
 
 # -- the active recorder slot -------------------------------------------
+#
+# Two layers: a context-local slot (a ContextVar, so concurrent asyncio
+# tasks — e.g. two tenants of the HTTP service — each see their own
+# recorder without clobbering each other) over a process-global fallback
+# slot (what worker processes and plain scripts use).  ``recording()``
+# scopes install into the context-local layer; ``set_recorder`` writes
+# the global fallback.  Synchronous single-threaded code cannot tell the
+# difference: within one context the ContextVar behaves like a global.
 
 _active: Recorder = NULL_RECORDER
 _active_lock = threading.Lock()
 
+_active_var: contextvars.ContextVar[Recorder | None] = contextvars.ContextVar(
+    "repro_active_recorder", default=None
+)
+
 
 def get_recorder() -> Recorder:
-    """The currently active recorder (the no-op one by default)."""
-    return _active
+    """The currently active recorder (the no-op one by default).
+
+    Resolution order: the context-local slot set by :func:`recording`,
+    then the process-global slot set by :func:`set_recorder`.
+    """
+    recorder = _active_var.get()
+    return recorder if recorder is not None else _active
 
 
 def set_recorder(recorder: Recorder | None) -> Recorder:
-    """Install ``recorder`` (``None`` = disable); returns the previous one."""
+    """Install ``recorder`` (``None`` = disable); returns the previous one.
+
+    Writes the process-global fallback slot; a context-local recorder
+    installed by :func:`recording` still wins inside its scope.
+    """
     global _active
     with _active_lock:
         previous = _active
@@ -344,6 +366,11 @@ def set_recorder(recorder: Recorder | None) -> Recorder:
 def recording(recorder: MetricsRecorder | None = None):
     """Context manager: install a recorder for the enclosed block.
 
+    The recorder is installed in the *context-local* slot, so two
+    concurrent asyncio tasks (or ``contextvars``-propagating threads,
+    e.g. ``asyncio.to_thread``) can each hold their own scope without
+    seeing each other's metrics.
+
     >>> from repro.telemetry import recording
     >>> with recording() as rec:
     ...     ...  # compress something
@@ -353,15 +380,15 @@ def recording(recorder: MetricsRecorder | None = None):
 
 
 class _Recording:
-    __slots__ = ("_recorder", "_previous")
+    __slots__ = ("_recorder", "_token")
 
     def __init__(self, recorder: MetricsRecorder | None) -> None:
         self._recorder = recorder if recorder is not None else MetricsRecorder()
 
     def __enter__(self) -> MetricsRecorder:
-        self._previous = set_recorder(self._recorder)
+        self._token = _active_var.set(self._recorder)
         return self._recorder
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        set_recorder(self._previous)
+        _active_var.reset(self._token)
         return None

@@ -149,6 +149,31 @@ class TestStream:
         assert main(["stream", str(path), str(container)]) == 0
         assert container_version(container.read_bytes()) == 2
 
+    def test_stream_metrics_json_embeds_stream_stats(
+        self, tmp_path, npy_trajectory
+    ):
+        """--metrics-json carries StreamStats.to_dict(), not ad-hoc keys."""
+        import json
+
+        from repro.stream.writer import StreamStats
+
+        path, _ = npy_trajectory
+        container = tmp_path / "t.mdz"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "stream", str(path), str(container),
+                "--buffer-size", "5", "--metrics-json", str(metrics),
+            ]
+        )
+        assert code == 0
+        snapshot = json.loads(metrics.read_text())
+        stream = snapshot["stream"]
+        assert set(stream) == set(StreamStats().to_dict())
+        assert stream["snapshots"] == 15
+        assert stream["bytes_written"] == container.stat().st_size
+        assert stream["compression_ratio"] > 1.0
+
     def test_stream_info(self, tmp_path, npy_trajectory, capsys):
         path, _ = npy_trajectory
         container = tmp_path / "t.mdz"

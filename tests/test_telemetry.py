@@ -167,6 +167,56 @@ class TestRecorderPrimitives:
         finally:
             set_recorder(previous)
 
+    def test_interleaved_recording_scopes_do_not_clobber(self):
+        """Two concurrent tasks' recording() scopes stay isolated.
+
+        The slot is a ContextVar: each asyncio task (tenant) sees its
+        own recorder even while the scopes overlap in time — the
+        regression the multi-tenant service depends on.
+        """
+        import asyncio
+
+        async def tenant(name: str, results: dict) -> None:
+            with recording() as rec:
+                for _ in range(3):
+                    get_recorder().count(f"tenant.{name}")
+                    await asyncio.sleep(0)  # interleave with the other
+            results[name] = rec.snapshot()["counters"]
+
+        async def main() -> dict:
+            results: dict = {}
+            await asyncio.gather(tenant("a", results), tenant("b", results))
+            return results
+
+        results = asyncio.run(main())
+        assert results["a"] == {"tenant.a": 3}
+        assert results["b"] == {"tenant.b": 3}
+
+    def test_recording_scope_propagates_into_to_thread(self):
+        """asyncio.to_thread copies the context, recorder included."""
+        import asyncio
+
+        async def main() -> dict:
+            with recording() as rec:
+                await asyncio.to_thread(
+                    lambda: get_recorder().count("from.thread")
+                )
+            return rec.snapshot()["counters"]
+
+        assert asyncio.run(main()) == {"from.thread": 1}
+
+    def test_context_local_scope_wins_over_global_slot(self):
+        fallback = MetricsRecorder()
+        previous = set_recorder(fallback)
+        try:
+            with recording() as scoped:
+                get_recorder().count("scoped")
+            get_recorder().count("global")
+            assert scoped.snapshot()["counters"] == {"scoped": 1}
+            assert fallback.snapshot()["counters"] == {"global": 1}
+        finally:
+            set_recorder(previous)
+
 
 @pytest.fixture
 def trajectory(rng) -> np.ndarray:
