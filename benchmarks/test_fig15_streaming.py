@@ -1,19 +1,23 @@
 """Figure 15 companion: streaming-pipeline throughput, serial vs parallel.
 
-The streaming subsystem's contract is that fanning per-(buffer, axis)
-compression jobs across a worker pool changes *nothing* about the output:
-the ``MDZ2`` container produced with ``workers=4`` is byte-identical to
-the serial one.  This benchmark verifies that on a Copper-like dataset
-and records the end-to-end throughput of both modes.  The speedup
-assertion only runs on hosts with enough cores — on a small CI box the
-pool's pickling overhead legitimately dominates — but byte identity is
-checked everywhere.
+The streaming subsystem's contract is that fanning batched flush jobs
+across a worker pool changes *nothing* about the output: the ``MDZ2``
+container produced with ``workers=4`` is byte-identical to the serial
+one.  This benchmark verifies that on a Copper-like dataset and records
+the end-to-end throughput of both modes over the shared-memory transport
+(payloads in ring slots, worker session caches keyed by state digest,
+one IPC round trip per flush).  The speedup assertion only runs on hosts
+with enough cores — on a single-core box the pool cannot physically win
+— but byte identity is checked everywhere.
 
 A third, telemetry-instrumented serial pass emits
 ``results/BENCH_fig15.json``: the per-stage second/byte breakdown of one
 full streaming compression, the baseline future performance PRs have to
-beat stage by stage.  The timed serial/parallel passes run with telemetry
-*disabled*, so the recorded throughput is the production configuration.
+beat stage by stage.  A fifth instrumented parallel pass records the
+transport counters (``stream.executor.shm_bytes``,
+``state_cache.hit``/``miss``, ``dispatched``).  The timed
+serial/parallel passes run with telemetry *disabled*, so the recorded
+throughput is the production configuration.
 """
 
 import io
@@ -27,7 +31,7 @@ from conftest import record, run_once
 from repro.core.config import MDZConfig
 from repro.datasets import load_dataset
 from repro.stream import StreamingReader, stream_compress
-from repro.telemetry import TracingRecorder, recording
+from repro.telemetry import MetricsRecorder, TracingRecorder, recording
 
 EPSILON = 1e-3
 BS = 10
@@ -49,8 +53,10 @@ def _run(positions: np.ndarray, workers: int):
 
 
 def run_experiment():
+    # The dataset's native float32 — raw_bytes now reflects the true
+    # source itemsize, so feeding the source dtype keeps the MB/s
+    # denominator comparable with the committed baseline.
     positions = load_dataset("copper-b", snapshots=SNAPSHOTS).positions
-    positions = positions.astype(np.float64)
     serial_blob, serial_stats, serial_s = _run(positions, workers=0)
     parallel_blob, parallel_stats, parallel_s = _run(
         positions, workers=WORKERS
@@ -67,12 +73,18 @@ def run_experiment():
         t0 = time.perf_counter()
         _run(positions, workers=0)
         traced_s = time.perf_counter() - t0
+    # A fifth, metrics-only parallel pass records what the transport
+    # actually did: bytes moved through shared memory, worker session
+    # cache hits/misses, and batched dispatch counts.
+    with recording(MetricsRecorder()) as transport_rec:
+        _run(positions, workers=WORKERS)
     return {
         "positions": positions,
         "serial": (serial_blob, serial_stats, serial_s),
         "parallel": (parallel_blob, parallel_stats, parallel_s),
         "profile": (rec.snapshot(), profiled_stats, profiled_s),
         "traced": (tracer.snapshot(), traced_s),
+        "transport": transport_rec.snapshot(),
     }
 
 
@@ -121,12 +133,18 @@ def test_fig15_streaming(benchmark, results_dir):
 
     traced_snapshot, traced_s = out["traced"]
     assert len(traced_snapshot["spans"]) > 0
+    transport_counters = {
+        name: value
+        for name, value in out["transport"]["counters"].items()
+        if name.startswith("stream.executor.")
+    }
     bench = {
         "benchmark": "fig15_streaming",
         "dataset": "copper-b",
         "snapshots": SNAPSHOTS,
         "buffer_size": BS,
         "workers": WORKERS,
+        "cpu_count": os.cpu_count(),
         "serial_mb_per_s": mb / serial_s,
         "parallel_mb_per_s": mb / parallel_s,
         "byte_identical": parallel_blob == serial_blob,
@@ -138,6 +156,7 @@ def test_fig15_streaming(benchmark, results_dir):
         "stages": snapshot["timers"],
         "stage_tail_latency": tail_stages,
         "counters": snapshot["counters"],
+        "transport": transport_counters,
     }
     (results_dir / "BENCH_fig15.json").write_text(json.dumps(bench, indent=2))
 
@@ -149,6 +168,14 @@ def test_fig15_streaming(benchmark, results_dir):
         err = np.abs(restored[:, :, a] - positions[:, :, a]).max()
         assert err <= reader.error_bounds[a] * (1 + 1e-9)
 
+    # The shared-memory transport moved payload bytes out of the pickle
+    # stream and workers reused cached sessions (in-process parallel
+    # smoke of the transport counters, independent of core count).
+    assert transport_counters.get("stream.executor.shm_bytes", 0) > 0
+    assert transport_counters.get("stream.executor.state_cache.hit", 0) > 0
+
     if (os.cpu_count() or 1) >= WORKERS:
-        # With real cores available the pool must pay for itself.
+        # With real cores available the pool must pay for itself: the
+        # zero-copy transport targets >= 2x serial locally; CI enforces
+        # 1.5x (headroom for runner jitter) via the fig15-smoke gate.
         assert parallel_s < serial_s, (serial_s, parallel_s)

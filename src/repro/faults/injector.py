@@ -185,6 +185,14 @@ class FaultyExecutor(ParallelExecutor):
     advancing across retries — exactly the behaviour of a real flaky
     worker.
 
+    Indices address *axis* jobs: a batched
+    :class:`~repro.stream.executor.FlushJobSpec` submission covers
+    ``len(spec.jobs)`` consecutive indices, so a plan written against
+    the per-axis dispatch keeps hitting the same (buffer, axis) job
+    under the batched transport.  A batch containing a marked axis
+    fails as a unit — the coarsest failure a real worker crash would
+    produce anyway.
+
     Parameters
     ----------
     specs:
@@ -218,14 +226,22 @@ class FaultyExecutor(ParallelExecutor):
         self._job_counter = 0
         self.injected: list[str] = []
 
-    def submit(self, fn, *args) -> None:
-        """Submit a job, wrapping it when its index is marked flaky."""
-        job = self._job_counter
-        self._job_counter += 1
-        spec = self._fault_by_job.get(job)
-        if spec is None:
-            super().submit(fn, *args)
+    def submit(self, fn, *args, slot=None) -> None:
+        """Submit a job, wrapping it when it covers a marked axis index."""
+        jobs = getattr(args[0], "jobs", None) if args else None
+        count = len(jobs) if jobs is not None else 1
+        first = self._job_counter
+        self._job_counter += count
+        hit = None
+        for job in range(first, first + count):
+            spec = self._fault_by_job.get(job)
+            if spec is not None:
+                hit = (job, spec)
+                break
+        if hit is None:
+            super().submit(fn, *args, slot=slot)
             return
+        job, spec = hit
         counter = self._counter_dir / f"job{job}.attempts"
         counter.touch()
         note = f"worker_fail@job{job}: fails first {spec.times} attempts"
@@ -233,7 +249,9 @@ class FaultyExecutor(ParallelExecutor):
         recorder = get_recorder()
         recorder.count("faults.injected.worker_fail")
         recorder.event("faults.injected", note)
-        super().submit(_flaky_call, str(counter), spec.times, fn, *args)
+        super().submit(
+            _flaky_call, str(counter), spec.times, fn, *args, slot=slot
+        )
 
 
 def apply_posthoc(blob: bytes, specs: Iterable[FaultSpec]) -> bytes:

@@ -26,7 +26,14 @@ and accounts for exactly which snapshots were lost
 exercises all of it deterministically.
 """
 
-from .executor import AxisJobSpec, ParallelExecutor, encode_axis_buffer
+from .executor import (
+    AxisJobSpec,
+    FlushJobSpec,
+    ParallelExecutor,
+    backoff_delay,
+    encode_axis_buffer,
+    encode_flush,
+)
 from .format import (
     ChunkEntry,
     Quarantine,
@@ -44,7 +51,9 @@ __all__ = [
     "AxisJobSpec",
     "BufferStatus",
     "ChunkEntry",
+    "FlushJobSpec",
     "ParallelExecutor",
+    "backoff_delay",
     "Quarantine",
     "SalvageReport",
     "StreamLayout",
@@ -52,6 +61,7 @@ __all__ = [
     "StreamingWriter",
     "StreamStats",
     "encode_axis_buffer",
+    "encode_flush",
     "is_stream_container",
     "parse_stream",
     "repair_stream",

@@ -19,7 +19,9 @@ channel.
 Compression jobs are distributed through a
 :class:`~repro.stream.executor.ParallelExecutor`: the first buffer and
 ADP trial buffers run in-session (they establish or update cross-buffer
-state), everything else is dispatched per (buffer, axis) — and is
+state), everything else is dispatched as one batched job per flush —
+the batch crosses the process boundary through a shared-memory slot and
+workers reuse cached sessions keyed by a state digest — and is
 byte-identical to serial execution by construction.
 
 Crash safety: chunk frames are committed atomically against a *fence* —
@@ -37,6 +39,7 @@ from __future__ import annotations
 
 import io
 import os
+import pickle
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -51,7 +54,13 @@ from ..core.mdz import MDZAxisCompressor
 from ..exceptions import CompressionError
 from ..telemetry import get_recorder
 from . import format as fmt
-from .executor import AxisJobSpec, ParallelExecutor, encode_axis_buffer
+from .executor import (
+    AxisJobSpec,
+    FlushJobSpec,
+    ParallelExecutor,
+    backoff_delay,
+    encode_flush,
+)
 
 
 @dataclass
@@ -64,10 +73,14 @@ class StreamStats:
     raw_bytes: int = 0
     bytes_written: int = 0
     compress_seconds: float = 0.0
+    #: Bytes per coordinate in the *source* data (set from the first
+    #: snapshot's dtype).  ``raw_bytes`` counts the source footprint, so
+    #: a float64 producer is no longer under-counted as float32.
+    source_itemsize: int = 4
 
     @property
     def compression_ratio(self) -> float:
-        """Raw float32 footprint over container bytes written so far."""
+        """Raw source footprint over container bytes written so far."""
         return self.raw_bytes / max(self.bytes_written, 1)
 
     def to_dict(self) -> dict:
@@ -86,6 +99,7 @@ class StreamStats:
             "bytes_written": self.bytes_written,
             "compress_seconds": self.compress_seconds,
             "compression_ratio": self.compression_ratio,
+            "source_itemsize": self.source_itemsize,
         }
 
 
@@ -126,8 +140,10 @@ class StreamingWriter:
 
     #: Chunk-commit retry policy: a failed frame write is rolled back to
     #: the fence and retried up to WRITE_RETRIES times, sleeping
-    #: ``min(RETRY_BASE_DELAY * 2**attempt, RETRY_MAX_DELAY)`` between
-    #: attempts (capped exponential backoff).
+    #: ``backoff_delay(attempt, RETRY_BASE_DELAY, RETRY_MAX_DELAY)`` =
+    #: ``min(RETRY_BASE_DELAY * 2**(attempt - 1), RETRY_MAX_DELAY)``
+    #: before retry ``attempt`` (capped exponential backoff, same
+    #: formula as the executor's job retries).
     WRITE_RETRIES = 3
     RETRY_BASE_DELAY = 0.01
     RETRY_MAX_DELAY = 0.5
@@ -156,6 +172,9 @@ class StreamingWriter:
             self._executor = ParallelExecutor(workers=workers)
             self._owns_executor = True
         self.stats = StreamStats()
+        # Shared-memory handles of published session state, per digest
+        # (None = publish declined; the spec then carries state inline).
+        self._state_handles: dict[str, tuple | None] = {}
         self._buffer: list[np.ndarray] = []
         self._pending: deque[_PendingChunk] = deque()
         self._chunks: list[fmt.ChunkEntry] = []
@@ -192,6 +211,15 @@ class StreamingWriter:
             if arr.size == 0:
                 raise CompressionError("cannot compress empty snapshots")
             self._shape = arr.shape
+            # Record the producer's true itemsize before the float64
+            # working coercion: raw_bytes must reflect the source
+            # footprint, not a hardcoded float32 convention.
+            source_dtype = getattr(snapshot, "dtype", None)
+            self.stats.source_itemsize = (
+                int(source_dtype.itemsize)
+                if source_dtype is not None
+                else int(arr.dtype.itemsize)
+            )
         elif arr.shape != self._shape:
             raise CompressionError(
                 f"snapshot shape {arr.shape} does not match the stream's "
@@ -199,7 +227,7 @@ class StreamingWriter:
             )
         self._buffer.append(arr)
         self.stats.snapshots += 1
-        self.stats.raw_bytes += arr.size * 4  # float32 storage convention
+        self.stats.raw_bytes += arr.size * self.stats.source_itemsize
         if len(self._buffer) >= self.config.buffer_size:
             self._flush()
         else:
@@ -322,14 +350,23 @@ class StreamingWriter:
             self._start(batch)
         rows = batch.shape[0]
         with recorder.span("stream.flush", buffer=self._buffer_index):
+            # One contiguous (axes, B, N) block: per-axis contiguous
+            # views for the in-session path, and the ready-to-ship
+            # payload for dispatched axes (copied once into a
+            # shared-memory slot, or pickled whole as the fallback).
+            axes_block = np.ascontiguousarray(np.moveaxis(batch, 2, 0))
+            dispatch: list[tuple[int, AxisJobSpec]] = []
             for a in range(batch.shape[2]):
                 session = self._sessions[a]
-                axis_batch = np.ascontiguousarray(batch[:, :, a])
+                axis_batch = axes_block[a]
                 method = session.pending_method()
                 if method is None:
                     # First buffer or ADP trial: must run in-session, where
                     # it establishes the reference/level model or re-picks
-                    # the method for the following buffers.
+                    # the method for the following buffers.  Flush any
+                    # dispatchable axes accumulated so far first, so the
+                    # executor queue stays aligned with self._pending.
+                    self._dispatch(dispatch, axes_block)
                     with recorder.span(
                         "stream.encode.axis",
                         axis=a,
@@ -339,34 +376,16 @@ class StreamingWriter:
                         blob = session.compress_batch(axis_batch)
                     self._executor.push(blob)
                 else:
-                    reference, level_fit = session.export_session_seed()
-                    spec = AxisJobSpec(
-                        method=method,
-                        error_bound=session.error_bound,
-                        n_atoms=self._shape[0],
-                        quantization_scale=self.config.quantization_scale,
-                        sequence_mode=self.config.sequence_mode,
-                        lossless_backend=self.config.lossless_backend,
-                        level_seed=self.config.level_seed,
-                        # Only MT reads the reference; skip shipping it
-                        # otherwise (it is one full snapshot per job).
-                        reference=reference if method == "mt" else None,
-                        level_fit=level_fit,
-                        entropy_streams=self.config.entropy_streams,
-                        # Span token: the worker's root span re-parents
-                        # under this flush (None on non-tracing recorders).
-                        trace=recorder.export_token(
-                            axis=a, buffer=self._buffer_index, mode="worker"
-                        ),
-                        telemetry=recorder.enabled,
+                    dispatch.append(
+                        (a, self._job_spec(a, session, method, recorder))
                     )
                     session.note_external_buffer()
-                    self._executor.submit(encode_axis_buffer, spec, axis_batch)
                 self._pending.append(
                     _PendingChunk(
                         buffer_index=self._buffer_index, axis=a, rows=rows
                     )
                 )
+            self._dispatch(dispatch, axes_block)
         self._buffer_index += 1
         self.stats.buffers += 1
         self._collect(block=False)
@@ -375,27 +394,110 @@ class StreamingWriter:
         if recorder.enabled:
             recorder.observe("stream.flush", elapsed)
 
+    def _job_spec(
+        self, axis: int, session: MDZAxisCompressor, method: str, recorder
+    ) -> AxisJobSpec:
+        """Build the out-of-session job spec for one axis.
+
+        The frozen session state travels by the cheapest available
+        route: it is pickled and published to a shared-memory segment
+        once per state digest (workers cache the rebuilt session under
+        the digest, so most jobs transfer nothing at all); when
+        publishing is declined — serial mode, shared memory unavailable
+        — the spec carries the state inline exactly as before.
+        """
+        reference, level_fit, digest = session.export_session_state(method)
+        if digest not in self._state_handles:
+            self._state_handles[digest] = self._executor.publish(
+                pickle.dumps(
+                    (reference, level_fit), pickle.HIGHEST_PROTOCOL
+                )
+            )
+        handle = self._state_handles[digest]
+        return AxisJobSpec(
+            method=method,
+            error_bound=session.error_bound,
+            n_atoms=self._shape[0],
+            quantization_scale=self.config.quantization_scale,
+            sequence_mode=self.config.sequence_mode,
+            lossless_backend=self.config.lossless_backend,
+            level_seed=self.config.level_seed,
+            # State ships through the published segment when available;
+            # only MT reads the reference, so it is None otherwise
+            # (export_session_state already applies that rule).
+            reference=None if handle is not None else reference,
+            level_fit=None if handle is not None else level_fit,
+            entropy_streams=self.config.entropy_streams,
+            # Span token: the worker's root span re-parents under this
+            # flush (None on non-tracing recorders).
+            trace=recorder.export_token(
+                axis=axis, buffer=self._buffer_index, mode="worker"
+            ),
+            telemetry=recorder.enabled,
+            state_digest=digest,
+            state_shm=handle,
+        )
+
+    def _dispatch(
+        self, dispatch: list[tuple[int, AxisJobSpec]], axes_block: np.ndarray
+    ) -> None:
+        """Submit accumulated axis jobs as one batched flush job.
+
+        One :class:`FlushJobSpec` carries every dispatched axis of the
+        flush — a single IPC round trip.  The payload travels through a
+        shared-memory ring slot when the executor can provide one
+        (``stream.executor.shm_bytes`` counts the copied bytes); the
+        fallback ships the stacked array pickled, and serial mode runs
+        the same job inline.  ``dispatch`` is consumed.
+        """
+        if not dispatch:
+            return
+        axes = [a for a, _ in dispatch]
+        jobs = tuple(spec for _, spec in dispatch)
+        dispatch.clear()
+        if axes == list(range(axes_block.shape[0])):
+            payload = axes_block  # whole flush: already the right block
+        else:
+            payload = np.ascontiguousarray(axes_block[axes])
+        slot = self._executor.acquire_slot(payload.nbytes)
+        if slot is not None:
+            desc = slot.pack(payload)
+            get_recorder().count(
+                "stream.executor.shm_bytes", payload.nbytes
+            )
+            self._executor.submit(
+                encode_flush, FlushJobSpec(jobs=jobs, shm=desc), None,
+                slot=slot,
+            )
+        else:
+            self._executor.submit(
+                encode_flush, FlushJobSpec(jobs=jobs), payload
+            )
+
     def _collect(self, block: bool) -> None:
         """Append chunk frames for every completed compression job."""
         recorder = get_recorder()
         results = self._executor.drain() if block else self._executor.ready()
-        for blob in results:
-            if type(blob) is tuple:
-                # Observability sideband from an out-of-session job:
-                # (bytes, recorder snapshot).  Fold the worker's metrics,
-                # spans, and provenance into the session recorder; the
-                # spans were already parented under our flush span via
-                # the job-spec token.
-                blob, sideband = blob
-                merge = getattr(recorder, "merge", None)
-                if merge is not None:
-                    merge(sideband)
-            meta = self._pending.popleft()
-            written = self._commit_chunk(meta, blob)
-            self.stats.chunks += 1
-            if recorder.enabled:
-                recorder.count("stream.chunks_written")
-                recorder.count("stream.chunk_bytes", written)
+        for result in results:
+            # A batched flush job resolves to the list of its per-axis
+            # results; an in-session push is a single payload.
+            for blob in result if type(result) is list else (result,):
+                if type(blob) is tuple:
+                    # Observability sideband from an out-of-session job:
+                    # (bytes, recorder snapshot).  Fold the worker's
+                    # metrics, spans, and provenance into the session
+                    # recorder; the spans were already parented under our
+                    # flush span via the job-spec token.
+                    blob, sideband = blob
+                    merge = getattr(recorder, "merge", None)
+                    if merge is not None:
+                        merge(sideband)
+                meta = self._pending.popleft()
+                written = self._commit_chunk(meta, blob)
+                self.stats.chunks += 1
+                if recorder.enabled:
+                    recorder.count("stream.chunks_written")
+                    recorder.count("stream.chunk_bytes", written)
         if recorder.enabled:
             # Chunks compressed (or in flight) but not yet on disk.
             recorder.gauge("stream.queue_depth", len(self._pending))
@@ -427,9 +529,8 @@ class StreamingWriter:
                     f"attempt {attempt + 1}: {last_exc!r}",
                 )
                 time.sleep(
-                    min(
-                        self.RETRY_BASE_DELAY * 2 ** (attempt - 1),
-                        self.RETRY_MAX_DELAY,
+                    backoff_delay(
+                        attempt, self.RETRY_BASE_DELAY, self.RETRY_MAX_DELAY
                     )
                 )
             try:

@@ -75,9 +75,20 @@ class TestStreamRoundTrip:
         assert stats.snapshots == 12
         assert stats.buffers == 3
         assert stats.chunks == 9
-        assert stats.raw_bytes == trajectory.astype(np.float32).nbytes
+        # raw_bytes reflects the true source dtype (float64 fixture),
+        # not the old hardcoded float32 convention.
+        assert stats.source_itemsize == trajectory.dtype.itemsize
+        assert stats.raw_bytes == trajectory.nbytes
         assert stats.bytes_written == len(sink.getvalue())
         assert stats.compression_ratio > 1.0
+
+    def test_stats_source_itemsize_float32(self, trajectory):
+        sink = io.BytesIO()
+        f32 = trajectory.astype(np.float32)
+        stats = stream_compress(f32, sink, MDZConfig(buffer_size=4))
+        assert stats.source_itemsize == 4
+        assert stats.raw_bytes == f32.nbytes
+        assert stats.to_dict()["source_itemsize"] == 4
 
     def test_matches_monolithic_reconstruction_bound(self, trajectory):
         # Same data through MDZ1 and MDZ2 obeys the same per-axis bounds

@@ -289,8 +289,11 @@ class TestStreamInstrumentation:
             )
         snap = rec.snapshot()
         assert snap["counters"]["stream.chunks_written"] == stats.chunks == 9
-        # In serial mode every job is either pushed (in-session) or inline.
-        handled = snap["counters"]["stream.executor.pushed"] + snap[
+        # In serial mode every chunk is either pushed (in-session) or
+        # part of an inline batched flush job (one job per flush, one
+        # chunk per axis).
+        axes = trajectory.shape[2]
+        handled = snap["counters"]["stream.executor.pushed"] + axes * snap[
             "counters"
         ].get("stream.executor.inline", 0)
         assert handled == stats.chunks
