@@ -21,6 +21,7 @@ import numpy as np
 
 from conftest import record, run_once
 from repro.sz.huffman import HuffmanCodec, clear_codebook_caches
+from repro.telemetry import recording
 
 N_SYMBOLS = 1_000_000
 #: Acceptance floor: the vectorized decoder must beat the scalar walker by
@@ -44,6 +45,25 @@ def _best_seconds(fn, *args) -> float:
         fn(*args)
         best = min(best, time.perf_counter() - t0)
     return best
+
+
+#: Encode sub-stages timed by the codec (see ``HuffmanCodec.encode``).
+ENCODE_STAGES = ("histogram", "table", "pack", "write")
+
+
+def _encode_breakdown(data: np.ndarray, streams: int | None) -> dict:
+    """Per-stage encode seconds (histogram / table build / pack / write).
+
+    Runs one cold encode under a metrics recorder so a future encode
+    regression is attributable to the stage that caused it.
+    """
+    clear_codebook_caches()
+    with recording() as recorder:
+        HuffmanCodec.encode(data, streams=streams)
+    return {
+        stage: recorder.stage_seconds(f"sz.huffman.encode.{stage}")
+        for stage in ENCODE_STAGES
+    }
 
 
 def run_experiment() -> dict:
@@ -74,6 +94,7 @@ def run_experiment() -> dict:
             "encode_mb_per_s": raw_mb / encode_s,
             "decode_mb_per_s": raw_mb / decode_s,
             "decode_msym_per_s": data.size / decode_s / 1e6,
+            "encode_stages_s": _encode_breakdown(data, streams),
         }
     results["decode_speedup"] = (
         results["paths"]["legacy"]["decode_s"]

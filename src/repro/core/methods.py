@@ -72,7 +72,25 @@ class MethodState:
 
 
 class MDZMethod(ABC):
-    """One of MDZ's prediction strategies (VQ / VQT / MT)."""
+    """One of MDZ's prediction strategies (VQ / VQT / MT).
+
+    The encode side is split into two stages so the ADP selector can run
+    cheap trials:
+
+    * :meth:`prepare` — the fused quantize/predict/residual kernels.
+      Returns a method-specific prepared object carrying every
+      intermediate (including the batch reconstruction).  Trial members
+      share work through the optional ``shared`` dict: VQ publishes its
+      full-batch pass there and VQT derives its head from a row slice of
+      it instead of re-quantizing.
+    * :meth:`serialize` — turns a prepared object into the wire payload.
+
+    :meth:`estimate` prices a prepared object (approximate serialized
+    bytes, pre-lossless) from histograms and cached codebook stats without
+    packing a single bit; the selector sizes trial candidates with it and
+    serializes only the winner.  :meth:`encode` composes the two stages
+    and is what non-trial callers use.
+    """
 
     #: Short name ("vq", "vqt", "mt").
     name: str = "abstract"
@@ -83,10 +101,27 @@ class MDZMethod(ABC):
         return METHOD_IDS[self.name]
 
     @abstractmethod
+    def prepare(self, batch: np.ndarray, state: MethodState, shared=None):
+        """Run the fused encode kernels; returns the prepared intermediates."""
+
+    @abstractmethod
+    def serialize(self, prepared, state: MethodState) -> bytes:
+        """Serialize a :meth:`prepare` result into the wire payload."""
+
+    @abstractmethod
+    def estimate(self, prepared, state: MethodState) -> int:
+        """Approximate serialized byte count of a :meth:`prepare` result."""
+
+    @abstractmethod
+    def reconstruction(self, prepared) -> np.ndarray:
+        """The batch reconstruction carried by a :meth:`prepare` result."""
+
     def encode(
         self, batch: np.ndarray, state: MethodState
     ) -> tuple[bytes, np.ndarray]:
         """Encode a (T, N) batch; returns (payload, reconstruction)."""
+        prepared = self.prepare(batch, state)
+        return self.serialize(prepared, state), self.reconstruction(prepared)
 
     @abstractmethod
     def decode(self, blob: bytes, state: MethodState) -> np.ndarray:

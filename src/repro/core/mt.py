@@ -15,20 +15,39 @@ becomes the session reference (maintained by the session object, not here).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..exceptions import DecompressionError
 from ..serde import BlobReader, BlobWriter
-from ..sz.pipeline import decode_int_stream, encode_int_stream
+from ..sz.pipeline import (
+    decode_int_stream,
+    encode_int_stream,
+    estimate_int_stream_bytes,
+)
 from ..sz.predictors import (
-    lorenzo_1d_codes,
+    lorenzo_1d_encode,
     lorenzo_1d_reconstruct,
-    reference_codes,
+    reference_encode,
     reference_reconstruct,
-    timewise_codes,
+    timewise_encode,
     timewise_reconstruct,
 )
+from ..sz.quantizer import QuantizedBlock
 from .methods import MDZMethod, MethodState
+
+
+@dataclass
+class MTPrepared:
+    """Intermediates of one MT pass: head block + time-wise tail."""
+
+    shape: tuple[int, ...]
+    bootstrap: bool
+    anchor: float | None
+    head: QuantizedBlock
+    tail: QuantizedBlock | None
+    recon: np.ndarray
 
 
 class MTMethod(MDZMethod):
@@ -36,51 +55,79 @@ class MTMethod(MDZMethod):
 
     name = "mt"
 
-    def encode(self, batch, state: MethodState):
-        writer = BlobWriter()
+    def prepare(self, batch, state: MethodState, shared=None):
         bootstrap = state.reference is None
-        writer.write_json(
-            {"shape": list(batch.shape), "bootstrap": bootstrap}
-        )
         recon = np.empty_like(batch, dtype=np.float64)
+        anchor = None
         if bootstrap:
             anchor = float(batch[0, 0])
-            block = lorenzo_1d_codes(batch[0], state.quantizer, anchor)
-            writer.write_json({"anchor": anchor})
-            writer.write_bytes(
-                encode_int_stream(
-                    block,
-                    "C",
-                    alphabet_hint=state.quantizer.scale + 1,
-                    streams=state.entropy_streams,
-                )
+            head, head_recon = lorenzo_1d_encode(
+                batch[0], state.quantizer, anchor
             )
-            recon[0] = lorenzo_1d_reconstruct(block, state.quantizer, anchor)
         else:
-            block = reference_codes(batch[0], state.quantizer, state.reference)
-            writer.write_bytes(
-                encode_int_stream(
-                    block,
-                    "C",
-                    alphabet_hint=state.quantizer.scale + 1,
-                    streams=state.entropy_streams,
-                )
+            head, head_recon = reference_encode(
+                batch[0], state.quantizer, state.reference
             )
-            recon[0] = reference_reconstruct(
-                block, state.quantizer, state.reference
-            )
+        recon[0] = head_recon
+        tail = None
         if batch.shape[0] > 1:
-            tail = timewise_codes(batch[1:], state.quantizer, recon[0])
+            tail, tail_recon = timewise_encode(
+                batch[1:], state.quantizer, recon[0]
+            )
+            recon[1:] = tail_recon
+        return MTPrepared(
+            shape=tuple(batch.shape),
+            bootstrap=bootstrap,
+            anchor=anchor,
+            head=head,
+            tail=tail,
+            recon=recon,
+        )
+
+    def serialize(self, prepared: MTPrepared, state: MethodState):
+        writer = BlobWriter()
+        writer.write_json(
+            {"shape": list(prepared.shape), "bootstrap": prepared.bootstrap}
+        )
+        if prepared.bootstrap:
+            writer.write_json({"anchor": prepared.anchor})
+        writer.write_bytes(
+            encode_int_stream(
+                prepared.head,
+                "C",
+                alphabet_hint=state.quantizer.scale + 1,
+                streams=state.entropy_streams,
+            )
+        )
+        if prepared.tail is not None:
             writer.write_bytes(
                 encode_int_stream(
-                    tail,
+                    prepared.tail,
                     state.layout,
                     alphabet_hint=state.quantizer.scale + 1,
                     streams=state.entropy_streams,
                 )
             )
-            recon[1:] = timewise_reconstruct(tail, state.quantizer, recon[0])
-        return writer.getvalue(), recon
+        return writer.getvalue()
+
+    def estimate(self, prepared: MTPrepared, state: MethodState):
+        total = 48 + estimate_int_stream_bytes(
+            prepared.head,
+            "C",
+            alphabet_hint=state.quantizer.scale + 1,
+            streams=state.entropy_streams,
+        )
+        if prepared.tail is not None:
+            total += estimate_int_stream_bytes(
+                prepared.tail,
+                state.layout,
+                alphabet_hint=state.quantizer.scale + 1,
+                streams=state.entropy_streams,
+            )
+        return total
+
+    def reconstruction(self, prepared: MTPrepared):
+        return prepared.recon
 
     def decode(self, blob, state: MethodState):
         reader = BlobReader(blob)

@@ -14,22 +14,55 @@ stored in the varint side channel.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..cluster.level_detect import LevelFit
 from ..exceptions import DecompressionError
 from ..serde import BlobReader, BlobWriter
-from ..sz.huffman import HuffmanCodec
-from ..sz.pipeline import decode_int_stream, encode_int_stream
+from ..sz.huffman import HuffmanCodec, estimate_encoded_bytes
+from ..sz.pipeline import (
+    decode_int_stream,
+    encode_int_stream,
+    estimate_int_stream_bytes,
+)
+from ..sz.quantizer import QuantizedBlock
 from .methods import MDZMethod, MethodState
 
 
-def vq_encode_array(
-    batch: np.ndarray, fit: LevelFit, state: MethodState
-) -> tuple[bytes, np.ndarray]:
-    """Encode a (T, N) array with level prediction; returns (blob, recon).
+@dataclass
+class VQPrepared:
+    """Intermediates of one VQ pass, kept for reuse.
 
-    Shared by VQ (whole buffers) and VQT (first snapshot only).
+    The fused prepare kernel computes everything the serializer *and* the
+    reconstruction need in one pass; ADP trials additionally slice these
+    arrays to derive the VQT head without re-quantizing (``absolute`` and
+    ``mask`` exist so a sub-range can be re-split without replaying the
+    predictor).
+    """
+
+    fit: LevelFit
+    shape: tuple[int, ...]
+    levels: np.ndarray
+    rel: np.ndarray
+    block: QuantizedBlock
+    absolute: np.ndarray
+    mask: np.ndarray
+    recon: np.ndarray
+
+
+def vq_prepare(
+    batch: np.ndarray, fit: LevelFit, state: MethodState
+) -> VQPrepared:
+    """Fused quantize -> predict -> residual -> reconstruct pass.
+
+    The encoder-side reconstruction is assembled directly from the
+    residual codes and absolute levels already in hand (out-of-scope mask
+    computed once), which is arithmetically identical to the decoder's
+    replay: in-scope points evaluate the same ``prediction + code *
+    bin_width`` expression, and literals the same ``mu + level *
+    bin_width``.
     """
     quantizer = state.quantizer
     layout = state.layout
@@ -39,28 +72,114 @@ def vq_encode_array(
         (batch - predictions) / quantizer.bin_width
     ).astype(np.int64)
     absolute = quantizer.grid_levels(batch, fit.mu)
-    block = quantizer.split(residual_codes, absolute, order=layout)
+    block, mask = quantizer.split_with_mask(
+        residual_codes, absolute, order=layout
+    )
+    recon = predictions + residual_codes * quantizer.bin_width
+    if block.wide.size:
+        literal_values = quantizer.dequantize_levels(block.wide, fit.mu)
+        if layout == "F":
+            recon_t = recon.T
+            recon_t[mask.T] = literal_values
+        else:
+            recon[mask] = literal_values
     # Relative level indexes: delta within each snapshot, first from 0.
     rel = np.diff(levels, axis=1, prepend=np.zeros((batch.shape[0], 1), np.int64))
+    return VQPrepared(
+        fit=fit,
+        shape=tuple(batch.shape),
+        levels=levels,
+        rel=rel,
+        block=block,
+        absolute=absolute,
+        mask=mask,
+        recon=recon,
+    )
+
+
+def vq_head_slice(prepared: VQPrepared, rows: int) -> VQPrepared:
+    """Re-derive the prepare result of ``batch[:rows]`` from a full pass.
+
+    Every per-point array of a VQ pass over ``batch[:rows]`` equals the
+    corresponding row slice of the full-batch pass (prediction never
+    crosses snapshots, and the within-snapshot level deltas start fresh on
+    every row), so the only work is re-extracting the side channel for the
+    narrowed mask.
+    """
+    quantizer_marker = prepared.block.marker
+    order = prepared.block.order
+    mask = prepared.mask[:rows]
+    absolute = prepared.absolute[:rows]
+    wide = absolute.T[mask.T] if order == "F" else absolute[mask]
+    block = QuantizedBlock(
+        codes=prepared.block.codes[:rows],
+        wide=wide,
+        marker=quantizer_marker,
+        order=order,
+    )
+    return VQPrepared(
+        fit=prepared.fit,
+        shape=(rows,) + prepared.shape[1:],
+        levels=prepared.levels[:rows],
+        rel=prepared.rel[:rows],
+        block=block,
+        absolute=absolute,
+        mask=mask,
+        recon=prepared.recon[:rows],
+    )
+
+
+def vq_serialize(prepared: VQPrepared, state: MethodState) -> bytes:
+    """Serialize a prepared VQ pass into the wire payload."""
     writer = BlobWriter()
     writer.write_json(
-        {"lam": fit.lam, "mu": fit.mu, "shape": list(batch.shape)}
+        {
+            "lam": prepared.fit.lam,
+            "mu": prepared.fit.mu,
+            "shape": list(prepared.shape),
+        }
     )
     writer.write_bytes(
         HuffmanCodec.encode(
-            rel.ravel(order=layout), streams=state.entropy_streams
+            prepared.rel.ravel(order=state.layout), streams=state.entropy_streams
         )
     )
     writer.write_bytes(
         encode_int_stream(
-            block,
-            layout,
-            alphabet_hint=quantizer.scale + 1,
+            prepared.block,
+            state.layout,
+            alphabet_hint=state.quantizer.scale + 1,
             streams=state.entropy_streams,
         )
     )
-    recon = _reconstruct(block, levels, fit, state)
-    return writer.getvalue(), recon
+    return writer.getvalue()
+
+
+def vq_estimate_bytes(prepared: VQPrepared, state: MethodState) -> int:
+    """Estimated serialized size (pre-lossless) of a prepared VQ pass."""
+    return (
+        estimate_encoded_bytes(
+            prepared.rel.ravel(order=state.layout), streams=state.entropy_streams
+        )
+        + estimate_int_stream_bytes(
+            prepared.block,
+            state.layout,
+            alphabet_hint=state.quantizer.scale + 1,
+            streams=state.entropy_streams,
+        )
+        + 48  # json head: lam/mu floats + shape
+    )
+
+
+def vq_encode_array(
+    batch: np.ndarray, fit: LevelFit, state: MethodState
+) -> tuple[bytes, np.ndarray]:
+    """Encode a (T, N) array with level prediction; returns (blob, recon).
+
+    Shared by VQ (whole buffers) and VQT (first snapshot only).
+    """
+    prepared = vq_prepare(batch, fit, state)
+    return vq_serialize(prepared, state), prepared.recon
 
 
 def vq_decode_array(blob: bytes, state: MethodState) -> np.ndarray:
@@ -115,9 +234,23 @@ class VQMethod(MDZMethod):
 
     name = "vq"
 
-    def encode(self, batch, state):
+    def prepare(self, batch, state, shared=None):
+        if shared is not None and "vq_full" in shared:
+            return shared["vq_full"]
         fit = state.levels.fit_for(batch[0])
-        return vq_encode_array(batch, fit, state)
+        prepared = vq_prepare(batch, fit, state)
+        if shared is not None:
+            shared["vq_full"] = prepared
+        return prepared
+
+    def serialize(self, prepared, state):
+        return vq_serialize(prepared, state)
+
+    def estimate(self, prepared, state):
+        return vq_estimate_bytes(prepared, state)
+
+    def reconstruction(self, prepared):
+        return prepared.recon
 
     def decode(self, blob, state):
         return vq_decode_array(blob, state)

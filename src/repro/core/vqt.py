@@ -10,13 +10,38 @@ head, the temporal smoothness for everything else.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..serde import BlobReader, BlobWriter
-from ..sz.pipeline import decode_int_stream, encode_int_stream
-from ..sz.predictors import timewise_codes, timewise_reconstruct
+from ..sz.pipeline import (
+    decode_int_stream,
+    encode_int_stream,
+    estimate_int_stream_bytes,
+)
+from ..sz.predictors import timewise_encode, timewise_reconstruct
+from ..sz.quantizer import QuantizedBlock
+from ..telemetry import get_recorder
 from .methods import MDZMethod, MethodState
-from .vq import vq_decode_array, vq_encode_array
+from .vq import (
+    VQPrepared,
+    vq_estimate_bytes,
+    vq_decode_array,
+    vq_head_slice,
+    vq_prepare,
+    vq_serialize,
+)
+
+
+@dataclass
+class VQTPrepared:
+    """Intermediates of one VQT pass: VQ head + time-wise tail."""
+
+    shape: tuple[int, ...]
+    head: VQPrepared
+    tail: QuantizedBlock | None
+    recon: np.ndarray
 
 
 class VQTMethod(MDZMethod):
@@ -24,26 +49,57 @@ class VQTMethod(MDZMethod):
 
     name = "vqt"
 
-    def encode(self, batch, state: MethodState):
-        fit = state.levels.fit_for(batch[0])
-        head_blob, head_recon = vq_encode_array(batch[:1], fit, state)
-        writer = BlobWriter()
-        writer.write_json({"shape": list(batch.shape)})
-        writer.write_bytes(head_blob)
+    def prepare(self, batch, state: MethodState, shared=None):
+        if shared is not None and "vq_full" in shared:
+            # An ADP trial already ran VQ over the whole batch; the VQ
+            # head over batch[:1] is a row slice of that pass.
+            head = vq_head_slice(shared["vq_full"], 1)
+            recorder = get_recorder()
+            if recorder.enabled:
+                recorder.count("adp.trial.reused_intermediates")
+        else:
+            fit = state.levels.fit_for(batch[0])
+            head = vq_prepare(batch[:1], fit, state)
         recon = np.empty_like(batch, dtype=np.float64)
-        recon[0] = head_recon[0]
+        recon[0] = head.recon[0]
+        tail = None
         if batch.shape[0] > 1:
-            block = timewise_codes(batch[1:], state.quantizer, recon[0])
+            tail, tail_recon = timewise_encode(
+                batch[1:], state.quantizer, recon[0]
+            )
+            recon[1:] = tail_recon
+        return VQTPrepared(
+            shape=tuple(batch.shape), head=head, tail=tail, recon=recon
+        )
+
+    def serialize(self, prepared: VQTPrepared, state: MethodState):
+        writer = BlobWriter()
+        writer.write_json({"shape": list(prepared.shape)})
+        writer.write_bytes(vq_serialize(prepared.head, state))
+        if prepared.tail is not None:
             writer.write_bytes(
                 encode_int_stream(
-                    block,
+                    prepared.tail,
                     state.layout,
                     alphabet_hint=state.quantizer.scale + 1,
                     streams=state.entropy_streams,
                 )
             )
-            recon[1:] = timewise_reconstruct(block, state.quantizer, recon[0])
-        return writer.getvalue(), recon
+        return writer.getvalue()
+
+    def estimate(self, prepared: VQTPrepared, state: MethodState):
+        total = 32 + vq_estimate_bytes(prepared.head, state)
+        if prepared.tail is not None:
+            total += estimate_int_stream_bytes(
+                prepared.tail,
+                state.layout,
+                alphabet_hint=state.quantizer.scale + 1,
+                streams=state.entropy_streams,
+            )
+        return total
+
+    def reconstruction(self, prepared: VQTPrepared):
+        return prepared.recon
 
     def decode(self, blob, state: MethodState):
         reader = BlobReader(blob)

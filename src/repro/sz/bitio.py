@@ -143,6 +143,19 @@ def encode_varints(values: np.ndarray) -> bytes:
     return out.tobytes()
 
 
+def varint_size(values: np.ndarray) -> int:
+    """Exact byte length of ``encode_varints(values)`` without encoding.
+
+    One byte per 7-bit group; pure array arithmetic, so sizing a side
+    channel for an estimate costs a fraction of materializing it.
+    """
+    u = np.asarray(values, dtype=np.uint64)
+    if u.size == 0:
+        return 0
+    nbits = np.maximum(1, 64 - clz64(u))
+    return int(((nbits + 6) // 7).sum())
+
+
 def decode_varints(data: bytes, count: int) -> np.ndarray:
     """Decode ``count`` LEB128 varints from ``data`` (vectorized)."""
     raw = np.frombuffer(data, dtype=np.uint8)
@@ -187,23 +200,67 @@ def clz64(u: np.ndarray) -> np.ndarray:
 
 
 #: Symbols per chunk in :func:`pack_codes`.  Bounds the transient
-#: ``chunk x max_len`` bit-expansion matrix (~8 MB at 64 Ki symbols and
-#: 16-bit codes) no matter how large the input array is.
-PACK_CHUNK = 1 << 16
+#: per-symbol work arrays (a handful of uint64/int64 vectors of this
+#: length, ~50 MB at 4 Mi symbols) no matter how large the input is.
+PACK_CHUNK = 1 << 22
 
 
-def _code_bits(codes: np.ndarray, lengths: np.ndarray) -> np.ndarray:
-    """Expand one chunk of (code, length) pairs into a flat 0/1 bit array."""
-    max_len = int(lengths.max())
-    if max_len == 0:
-        return np.empty(0, dtype=np.uint8)
-    # bit k of symbol i (MSB first within the code) lives at column
-    # max_len - lengths[i] + k ... simpler: left-align codes to max_len.
-    aligned = codes << (max_len - lengths).astype(np.uint64)
-    cols = np.arange(max_len, dtype=np.uint64)
-    bits = (aligned[:, None] >> (np.uint64(max_len - 1) - cols)[None, :]) & np.uint64(1)
-    valid = cols[None, :] < lengths[:, None].astype(np.uint64)
-    return bits[valid].astype(np.uint8)
+def _merge_pairs(
+    codes: np.ndarray, lengths: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate adjacent (code, length) pairs into single wider codes.
+
+    Bit-string concatenation is associative, so replacing symbols
+    ``2i, 2i+1`` with ``(code[2i] << len[2i+1]) | code[2i+1]`` leaves the
+    packed output unchanged while halving the number of elements every
+    later stage has to touch.  Callers must guarantee the merged length
+    fits 64 bits.
+    """
+    if codes.size % 2:
+        codes = np.append(codes, np.uint64(0))
+        lengths = np.append(lengths, np.int64(0))
+    merged = (codes[0::2] << lengths[1::2].astype(np.uint64)) | codes[1::2]
+    return merged, lengths[0::2] + lengths[1::2]
+
+
+def _place_codes(
+    words: np.ndarray, codes: np.ndarray, lengths: np.ndarray, base_bit: int
+) -> None:
+    """OR ``codes`` (< 64 bits each, pre-masked) into the 64-bit word
+    array at consecutive bit offsets starting at ``base_bit``.
+
+    Each code lands in at most two words (MSB-first).  Per-word
+    contributions never share bits, so the segmented OR over each word's
+    contributions equals a segmented *sum* — computed as a difference of
+    the running cumulative sum (exact even when the modular cumsum wraps),
+    which avoids the much slower ``ufunc.reduceat``/``ufunc.at`` paths.
+    """
+    ends = np.cumsum(lengths) + base_bit
+    offsets = ends - lengths
+    word_idx = offsets >> 6
+    # Trailing zero-length codes sit at offset == total bits, which lands
+    # one word past the end when total is a multiple of 64.  They carry no
+    # bits, so clamping keeps indexing valid (and word_idx monotonic).
+    np.minimum(word_idx, np.int64(words.size - 1), out=word_idx)
+    bit_end = (offsets & 63) + lengths  # <= 63 + 64
+    fits = bit_end <= 64
+    shift = np.where(fits, 64 - bit_end, bit_end - 64)
+    np.minimum(shift, 63, out=shift)  # len==0 at bit 0: harmless 0 << 63
+    ushift = shift.astype(np.uint64)
+    w1 = np.where(fits, codes << ushift, codes >> ushift)
+    csum = np.cumsum(w1)
+    starts = np.flatnonzero(np.diff(word_idx, prepend=np.int64(-1)))
+    seg_ends = np.append(starts[1:] - 1, w1.size - 1)
+    seg = csum[seg_ends]
+    seg[1:] -= csum[starts[1:] - 1]
+    words[word_idx[starts]] |= seg
+    spill = np.flatnonzero(~fits)
+    if spill.size:
+        # Spill words are strictly increasing (a code that crosses a word
+        # boundary pushes the next code past it), so plain |= is safe.
+        words[word_idx[spill] + 1] |= codes[spill] << (
+            np.uint64(128) - bit_end[spill].astype(np.uint64)
+        )
 
 
 def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> bytes:
@@ -218,9 +275,12 @@ def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> bytes:
         zero-length entry contributes no bits (the multi-stream Huffman
         framer uses them as byte-alignment placeholders).
 
-    The implementation expands codes into individual bits with numpy
-    broadcasting and compacts them with :func:`numpy.packbits`, processed
-    in :data:`PACK_CHUNK`-symbol chunks so the bit-expansion temporary is
+    The packer works on cumulative bit offsets: adjacent codes are first
+    merged pairwise while the widest merged code still fits 64 bits
+    (Huffman codebooks are <= 16 bits, so typical inputs shrink 4x), then
+    every merged code is ORed into a 64-bit word array at its cumulative
+    offset in one vectorized pass (:func:`_place_codes`).  Input is
+    processed in :data:`PACK_CHUNK`-symbol chunks so transient memory is
     bounded regardless of array size.
     """
     codes = np.asarray(codes, dtype=np.uint64)
@@ -229,15 +289,27 @@ def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> bytes:
         return b""
     if int(lengths.min()) < 0:
         raise ValueError("code lengths must be non-negative")
-    if int(lengths.max()) > 57:
+    max_len = int(lengths.max())
+    if max_len > 57:
         raise ValueError("pack_codes supports code lengths up to 57 bits")
-    if codes.size <= PACK_CHUNK:
-        return np.packbits(_code_bits(codes, lengths)).tobytes()
-    pieces = [
-        _code_bits(codes[i : i + PACK_CHUNK], lengths[i : i + PACK_CHUNK])
-        for i in range(0, codes.size, PACK_CHUNK)
-    ]
-    return np.packbits(np.concatenate(pieces)).tobytes()
+    total = int(lengths.sum())
+    if total == 0:
+        return b""
+    words = np.zeros((total + 63) >> 6, dtype=np.uint64)
+    base_bit = 0
+    for i in range(0, codes.size, PACK_CHUNK):
+        chunk_codes = codes[i : i + PACK_CHUNK]
+        chunk_lens = lengths[i : i + PACK_CHUNK]
+        ulen = chunk_lens.astype(np.uint64)
+        masked = chunk_codes & ((np.uint64(1) << ulen) - np.uint64(1))
+        chunk_bits = int(chunk_lens.sum())
+        merged_max = max_len
+        while merged_max <= 32 and masked.size > 1:
+            masked, chunk_lens = _merge_pairs(masked, chunk_lens)
+            merged_max *= 2
+        _place_codes(words, masked, chunk_lens, base_bit)
+        base_bit += chunk_bits
+    return words.astype(">u8").tobytes()[: (total + 7) >> 3]
 
 
 def unpack_bits(data: bytes) -> np.ndarray:

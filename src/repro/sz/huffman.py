@@ -146,16 +146,26 @@ def canonical_codes(lengths: np.ndarray) -> np.ndarray:
     assignment from the lengths alone.
     """
     lengths = np.asarray(lengths, dtype=np.int64)
-    order = np.lexsort((np.arange(lengths.size), lengths))
-    codes = np.zeros(lengths.size, dtype=np.uint64)
+    n = lengths.size
+    if n == 0:
+        return np.empty(0, dtype=np.uint64)
+    order = np.lexsort((np.arange(n), lengths))
+    l_sorted = lengths[order]
+    max_len = int(l_sorted[-1])
+    hist = np.bincount(l_sorted, minlength=max_len + 1)
+    # First code of each length class: the standard canonical recurrence
+    # ``first[l] = (first[l-1] + hist[l-1]) << 1``.  O(max_len) scalar
+    # steps; everything per-symbol below is array arithmetic.
+    first = np.zeros(max_len + 1, dtype=np.uint64)
     code = 0
-    prev_len = 0
-    for sym in order:
-        length = int(lengths[sym])
-        code <<= length - prev_len
-        codes[sym] = code
-        code += 1
-        prev_len = length
+    for length in range(1, max_len + 1):
+        code = (code + int(hist[length - 1])) << 1
+        first[length] = code
+    class_start = np.zeros(max_len + 1, dtype=np.int64)
+    np.cumsum(hist[:-1], out=class_start[1:])
+    rank = np.arange(n, dtype=np.int64) - class_start[l_sorted]
+    codes = np.empty(n, dtype=np.uint64)
+    codes[order] = first[l_sorted] + rank.astype(np.uint64)
     return codes
 
 
@@ -163,10 +173,15 @@ def canonical_codes(lengths: np.ndarray) -> np.ndarray:
 
 
 class _LRUCache:
-    """Tiny thread-safe LRU keyed by bytes digests, with telemetry."""
+    """Tiny thread-safe LRU keyed by bytes digests, with telemetry.
 
-    def __init__(self, capacity: int) -> None:
+    ``metric`` names the counter pair (``<metric>.hit`` / ``<metric>.miss``)
+    this cache reports under.
+    """
+
+    def __init__(self, capacity: int, metric: str = "sz.huffman.cache") -> None:
         self.capacity = capacity
+        self.metric = metric
         self._lock = threading.Lock()
         self._data: OrderedDict[bytes, object] = OrderedDict()
 
@@ -178,8 +193,8 @@ class _LRUCache:
         recorder = get_recorder()
         if recorder.enabled:
             recorder.count(
-                "sz.huffman.cache.hit" if value is not None
-                else "sz.huffman.cache.miss"
+                f"{self.metric}.hit" if value is not None
+                else f"{self.metric}.miss"
             )
         return value
 
@@ -201,12 +216,14 @@ class _LRUCache:
 
 _ENCODE_CACHE = _LRUCache(64)
 _DECODE_CACHE = _LRUCache(64)
+_TABLE_CACHE = _LRUCache(64, metric="sz.huffman.encode_table")
 
 
 def clear_codebook_caches() -> None:
     """Drop the memoized encoder codebooks and decoder lookup tables."""
     _ENCODE_CACHE.clear()
     _DECODE_CACHE.clear()
+    _TABLE_CACHE.clear()
 
 
 def _digest(tag: bytes, *parts: np.ndarray) -> bytes:
@@ -239,6 +256,53 @@ def _cached_codebook(
     codes = canonical_codes(lengths)
     value = (_freeze(lengths), _freeze(codes))
     _ENCODE_CACHE.put(key, value)
+    return value
+
+
+#: Hard cap on the dense packed encode table (8 MB of uint64 entries).
+_DENSE_TABLE_SPAN_CAP = 1 << 20
+
+#: Below this span a dense table is always worthwhile, regardless of how
+#: sparse the alphabet is within it.
+_DENSE_TABLE_SPAN_FLOOR = 1 << 16
+
+
+def _packed_encode_table(
+    symbols: np.ndarray,
+    counts: np.ndarray,
+    lengths: np.ndarray,
+    codes: np.ndarray,
+) -> tuple[int | None, np.ndarray]:
+    """Fused (code << 6 | length) lookup table for one codebook, memoized.
+
+    Returns ``(base, table)``.  When ``base`` is an int the table is
+    *dense*: entry ``v - base`` holds the packed code/length for symbol
+    value ``v``, so encoding is a single gather straight off the raw
+    values — no ``unique``/``searchsorted`` index pass.  When ``base`` is
+    ``None`` the value span was too wide to materialize and the table is
+    per-*symbol* (same order as ``symbols``); callers index it with the
+    inverse mapping instead.
+
+    Six low bits hold the code length (max 57 < 64); the code sits above.
+    Keyed by the same BLAKE2b histogram digest as the codebook cache but
+    tracked separately (``sz.huffman.encode_table.hit/miss``).
+    """
+    key = _digest(b"tab", symbols, counts)
+    cached = _TABLE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    fused = (codes << np.uint64(6)) | lengths.astype(np.uint64)
+    lo = int(symbols[0])
+    span = int(symbols[-1]) - lo + 1
+    if span <= max(_DENSE_TABLE_SPAN_FLOOR, 4 * symbols.size) and (
+        span <= _DENSE_TABLE_SPAN_CAP
+    ):
+        table = np.zeros(span, dtype=np.uint64)
+        table[symbols - lo] = fused
+        value = (lo, _freeze(table))
+    else:
+        value = (None, _freeze(fused))
+    _TABLE_CACHE.put(key, value)
     return value
 
 
@@ -358,6 +422,62 @@ def _resolve_streams(n: int, streams: int | None) -> int:
     return max(DEFAULT_STREAMS, min(MAX_STREAMS, n // _SYMBOLS_PER_STREAM))
 
 
+def _histogram(
+    flat: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None, int, int]:
+    """(symbols, counts, inverse, lo, hi) for a non-empty int64 array.
+
+    Narrow value spans take a dense ``bincount`` over the range — one pass,
+    no sort — whose nonzero bins reproduce exactly the sorted
+    (symbols, counts) pair ``np.unique`` would return, so codebook cache
+    digests are identical on both paths.  ``inverse`` is only materialized
+    on the wide-span fallback; dense-span callers index by value instead.
+    """
+    lo, hi = int(flat.min()), int(flat.max())
+    span = hi - lo + 1
+    if span <= max(1 << 16, 4 * flat.size) and span <= _DENSE_TABLE_SPAN_CAP:
+        full = np.bincount(flat - lo, minlength=span)
+        present = np.flatnonzero(full)
+        return present + lo, full[present], None, lo, hi
+    symbols, inverse = np.unique(flat, return_inverse=True)
+    counts = np.bincount(inverse, minlength=symbols.size)
+    return symbols, counts, inverse, lo, hi
+
+
+def estimate_encoded_bytes(
+    values: np.ndarray,
+    alphabet_hint: int | None = None,
+    streams: int | None = None,
+) -> int:
+    """Predicted size of :meth:`HuffmanCodec.encode`'s blob, without packing.
+
+    The Huffman payload length is exact — ``sum(counts * lengths)`` bits
+    over the (cached) codebook — so the only approximations are the H2
+    per-stream byte padding (taken at its 4-bit average) and the JSON/blob
+    framing overhead.  Costs one histogram pass plus a codebook-cache
+    lookup; no gather, no bit packing, no payload allocation.
+    """
+    arr = np.asarray(values)
+    flat = arr.astype(np.int64, copy=False).ravel()
+    if flat.size == 0:
+        return 24
+    symbols, counts, _, lo, hi = _histogram(flat)
+    lengths, _ = _cached_codebook(symbols, counts)
+    payload_bits = int((counts * lengths).sum())
+    n_streams = _resolve_streams(flat.size, streams)
+    if alphabet_hint is not None and hi - lo < alphabet_hint:
+        codebook_bytes = int(alphabet_hint)
+    else:
+        codebook_bytes = _compact_symbols(symbols).nbytes + symbols.size
+    total = 56 + codebook_bytes + (payload_bits + 7) // 8
+    if n_streams > 1:
+        # Per-stream byte padding (~4 bits each) plus the sizes table.
+        total += (n_streams * 4) // 8 + _compact_unsigned(
+            np.array([max(payload_bits // 8, 1)], dtype=np.uint64)
+        ).itemsize * n_streams
+    return total
+
+
 def _compact_unsigned(values: np.ndarray) -> np.ndarray:
     """Store an unsigned array in the narrowest dtype that fits."""
     hi = int(values.max()) if values.size else 0
@@ -386,16 +506,20 @@ def _h2_payload(
     grid_lens = np.zeros(total, dtype=np.int64)
     grid_lens[:n] = sym_lens
     # Round-major (rounds, N) -> stream-major (N, rounds); absent tail
-    # elements keep length 0 and contribute no bits.
-    grid_codes = grid_codes.reshape(rounds, n_streams).T
-    grid_lens = grid_lens.reshape(rounds, n_streams).T
-    stream_bits = grid_lens.sum(axis=1)
+    # elements keep length 0 and contribute no bits.  The transpose lands
+    # straight in a preallocated (N, rounds+1) grid whose last column is
+    # the per-stream byte-alignment pseudo-code, so the pack below reads
+    # one contiguous array with no further copies.
+    rm_codes = grid_codes.reshape(rounds, n_streams)
+    rm_lens = grid_lens.reshape(rounds, n_streams)
+    stream_bits = rm_lens.sum(axis=0)
     pad_bits = (-stream_bits) % 8
-    ext_codes = np.concatenate(
-        [grid_codes, np.zeros((n_streams, 1), dtype=np.uint64)], axis=1
-    ).ravel()
-    ext_lens = np.concatenate([grid_lens, pad_bits[:, None]], axis=1).ravel()
-    payload = pack_codes(ext_codes, ext_lens)
+    ext_codes = np.zeros((n_streams, rounds + 1), dtype=np.uint64)
+    ext_lens = np.zeros((n_streams, rounds + 1), dtype=np.int64)
+    ext_codes[:, :rounds] = rm_codes.T
+    ext_lens[:, :rounds] = rm_lens.T
+    ext_lens[:, rounds] = pad_bits
+    payload = pack_codes(ext_codes.ravel(), ext_lens.ravel())
     sizes = (stream_bits + pad_bits) // 8
     return payload, sizes
 
@@ -442,34 +566,46 @@ class HuffmanCodec:
             return writer.getvalue()
         with recorder.span("sz.huffman.encode", symbols=int(flat.size)), \
                 recorder.timer("sz.huffman.encode"):
-            symbols, inverse = np.unique(flat, return_inverse=True)
-            counts = np.bincount(inverse, minlength=symbols.size)
-            lengths, codes = _cached_codebook(symbols, counts)
-            n_streams = _resolve_streams(flat.size, streams)
-            dense_base: int | None = None
-            if alphabet_hint is not None:
-                lo, hi = int(symbols.min()), int(symbols.max())
-                if hi - lo < alphabet_hint:
-                    dense_base = lo
-            meta = {"n": int(flat.size), "dense": dense_base, "dt": dtype_tag}
-            if n_streams > 1:
-                meta["v"] = 2
-                meta["ns"] = n_streams
-            writer.write_json(meta)
-            if dense_base is None:
-                writer.write_array(_compact_symbols(symbols))
-                writer.write_array(lengths.astype(np.uint8))
-            else:
-                dense = np.zeros(int(alphabet_hint), dtype=np.uint8)
-                dense[symbols - dense_base] = lengths
-                writer.write_array(dense)
-            if n_streams == 1:
-                writer.write_bytes(pack_codes(codes[inverse], lengths[inverse]))
-            else:
-                payload, sizes = _h2_payload(
-                    codes[inverse], lengths[inverse], n_streams
+            with recorder.timer("sz.huffman.encode.histogram"):
+                symbols, counts, inverse, lo, hi = _histogram(flat)
+            with recorder.timer("sz.huffman.encode.table"):
+                lengths, codes = _cached_codebook(symbols, counts)
+                base, table = _packed_encode_table(
+                    symbols, counts, lengths, codes
                 )
-                writer.write_array(_compact_unsigned(sizes))
+            with recorder.timer("sz.huffman.encode.pack"):
+                if base is not None:
+                    entries = table[flat - base]
+                else:
+                    if inverse is None:
+                        inverse = np.searchsorted(symbols, flat)
+                    entries = table[inverse]
+                sym_codes = entries >> np.uint64(6)
+                sym_lens = (entries & np.uint64(63)).astype(np.int64)
+                n_streams = _resolve_streams(flat.size, streams)
+                if n_streams == 1:
+                    payload = pack_codes(sym_codes, sym_lens)
+                    sizes = None
+                else:
+                    payload, sizes = _h2_payload(sym_codes, sym_lens, n_streams)
+            with recorder.timer("sz.huffman.encode.write"):
+                dense_base: int | None = None
+                if alphabet_hint is not None and hi - lo < alphabet_hint:
+                    dense_base = lo
+                meta = {"n": int(flat.size), "dense": dense_base, "dt": dtype_tag}
+                if n_streams > 1:
+                    meta["v"] = 2
+                    meta["ns"] = n_streams
+                writer.write_json(meta)
+                if dense_base is None:
+                    writer.write_array(_compact_symbols(symbols))
+                    writer.write_array(lengths.astype(np.uint8))
+                else:
+                    dense = np.zeros(int(alphabet_hint), dtype=np.uint8)
+                    dense[symbols - dense_base] = lengths
+                    writer.write_array(dense)
+                if sizes is not None:
+                    writer.write_array(_compact_unsigned(sizes))
                 writer.write_bytes(payload)
         blob = writer.getvalue()
         if recorder.enabled:

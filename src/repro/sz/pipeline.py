@@ -21,8 +21,14 @@ import numpy as np
 from ..exceptions import DecompressionError
 from ..serde import BlobReader, BlobWriter
 from ..telemetry import get_recorder
-from .bitio import decode_varints, encode_varints, zigzag_decode, zigzag_encode
-from .huffman import HuffmanCodec
+from .bitio import (
+    decode_varints,
+    encode_varints,
+    varint_size,
+    zigzag_decode,
+    zigzag_encode,
+)
+from .huffman import HuffmanCodec, estimate_encoded_bytes
 from .quantizer import QuantizedBlock
 
 
@@ -70,6 +76,29 @@ def encode_int_stream(
             layout=layout,
         )
     return writer.getvalue()
+
+
+def estimate_int_stream_bytes(
+    block: QuantizedBlock,
+    layout: str = "C",
+    alphabet_hint: int | None = None,
+    streams: int | None = None,
+) -> int:
+    """Predicted :func:`encode_int_stream` size without serializing.
+
+    The Huffman stage is sized from the code histogram and cached codebook
+    (see :func:`~repro.sz.huffman.estimate_encoded_bytes`) and the varint
+    side channel from pure bit-length arithmetic; neither depends on the
+    flattening order, so the codes are read in their native layout with no
+    transposed copy.  Only the JSON/blob framing is approximated.
+    """
+    return (
+        estimate_encoded_bytes(
+            block.codes.ravel(), alphabet_hint=alphabet_hint, streams=streams
+        )
+        + varint_size(zigzag_encode(block.wide))
+        + 96  # two JSON headers + section framing
+    )
 
 
 def decode_int_stream(blob: bytes) -> QuantizedBlock:

@@ -17,6 +17,16 @@ every point (see :meth:`repro.sz.quantizer.LinearQuantizer.grid_levels`).
 Out-of-scope codes are replaced by a marker and their absolute level stored
 in the side channel; reconstruction handles the resets (vectorized for
 chains, raster-order rectangle fixes for 2D Lorenzo).
+
+Each predictor also exposes a fused ``*_encode`` kernel returning
+``(block, reconstruction)`` in one pass.  On the encode side the absolute
+grid levels ``s`` are already in hand, and the decoder's reconstruction is
+*provably* ``anchor + s * bin_width`` (chains rebuild exact level
+differences between resets, and resets restore the stored level verbatim),
+so the fused kernels skip the ``chain_reconstruct`` /
+``merge_independent`` replay entirely — the quantize, predict, residual,
+and reconstruction stages share a single pass over the data with the
+out-of-scope mask computed once.
 """
 
 from __future__ import annotations
@@ -38,6 +48,17 @@ def lorenzo_1d_codes(
     s = quantizer.grid_levels(data, anchor)
     codes = np.diff(s, prepend=np.int64(0))
     return quantizer.split(codes, s, order="C")
+
+
+def lorenzo_1d_encode(
+    data: np.ndarray, quantizer: LinearQuantizer, anchor: float
+) -> tuple[QuantizedBlock, np.ndarray]:
+    """Fused :func:`lorenzo_1d_codes` + exact reconstruction."""
+    data = np.asarray(data, dtype=np.float64).ravel()
+    s = quantizer.grid_levels(data, anchor)
+    codes = np.diff(s, prepend=np.int64(0))
+    block, _ = quantizer.split_with_mask(codes, s, order="C")
+    return block, quantizer.dequantize_levels(s, anchor)
 
 
 def lorenzo_1d_reconstruct(
@@ -115,6 +136,20 @@ def timewise_codes(
     return quantizer.split(codes, s, order="F")
 
 
+def timewise_encode(
+    batch: np.ndarray, quantizer: LinearQuantizer, base: np.ndarray
+) -> tuple[QuantizedBlock, np.ndarray]:
+    """Fused :func:`timewise_codes` + exact reconstruction."""
+    batch = np.asarray(batch, dtype=np.float64)
+    if batch.ndim != 2:
+        raise ValueError("timewise_encode expects a (T, N) array")
+    anchor = np.asarray(base, dtype=np.float64)[None, :]
+    s = quantizer.grid_levels(batch, anchor)
+    codes = np.diff(s, axis=0, prepend=np.zeros((1, s.shape[1]), dtype=np.int64))
+    block, _ = quantizer.split_with_mask(codes, s, order="F")
+    return block, quantizer.dequantize_levels(s, anchor)
+
+
 def timewise_reconstruct(
     block: QuantizedBlock, quantizer: LinearQuantizer, base: np.ndarray
 ) -> np.ndarray:
@@ -141,6 +176,17 @@ def reference_codes(
     snapshot = np.asarray(snapshot, dtype=np.float64).ravel()
     s = quantizer.grid_levels(snapshot, np.asarray(reference, dtype=np.float64))
     return quantizer.split(s, s, order="C")
+
+
+def reference_encode(
+    snapshot: np.ndarray, quantizer: LinearQuantizer, reference: np.ndarray
+) -> tuple[QuantizedBlock, np.ndarray]:
+    """Fused :func:`reference_codes` + exact reconstruction."""
+    snapshot = np.asarray(snapshot, dtype=np.float64).ravel()
+    anchor = np.asarray(reference, dtype=np.float64)
+    s = quantizer.grid_levels(snapshot, anchor)
+    block, _ = quantizer.split_with_mask(s, s, order="C")
+    return block, quantizer.dequantize_levels(s, anchor)
 
 
 def reference_reconstruct(

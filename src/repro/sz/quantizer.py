@@ -119,6 +119,17 @@ class LinearQuantizer:
             Flattening order for the side channel (see
             :class:`QuantizedBlock`).
         """
+        block, _ = self.split_with_mask(codes, absolute, order)
+        return block
+
+    def split_with_mask(
+        self, codes: np.ndarray, absolute: np.ndarray, order: str = "C"
+    ) -> tuple[QuantizedBlock, np.ndarray]:
+        """:meth:`split`, but also return the out-of-scope boolean mask.
+
+        Fused encode kernels reuse the mask to build the encoder-side
+        reconstruction without re-deriving it from the marker codes.
+        """
         codes = np.asarray(codes, dtype=np.int64)
         absolute = np.asarray(absolute, dtype=np.int64)
         mask = np.abs(codes) >= self.radius
@@ -129,7 +140,10 @@ class LinearQuantizer:
             wide = absolute[mask]
         else:
             raise ValueError(f"order must be 'C' or 'F', got {order!r}")
-        return QuantizedBlock(codes=out, wide=wide, marker=self.marker, order=order)
+        block = QuantizedBlock(
+            codes=out, wide=wide, marker=self.marker, order=order
+        )
+        return block, mask
 
     def merge_independent(self, block: QuantizedBlock) -> np.ndarray:
         """Restore absolute codes for an *independent* predictor.
