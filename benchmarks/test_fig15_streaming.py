@@ -39,15 +39,17 @@ SNAPSHOTS = 160
 WORKERS = 4
 
 
-def _run(positions: np.ndarray, workers: int):
+def _run(positions: np.ndarray, workers: int, audit_interval: int | None = None):
+    config = (
+        MDZConfig(error_bound=EPSILON, buffer_size=BS)
+        if audit_interval is None
+        else MDZConfig(
+            error_bound=EPSILON, buffer_size=BS, audit_interval=audit_interval
+        )
+    )
     sink = io.BytesIO()
     t0 = time.perf_counter()
-    stats = stream_compress(
-        positions,
-        sink,
-        MDZConfig(error_bound=EPSILON, buffer_size=BS),
-        workers=workers,
-    )
+    stats = stream_compress(positions, sink, config, workers=workers)
     elapsed = time.perf_counter() - t0
     return sink.getvalue(), stats, elapsed
 
@@ -61,6 +63,17 @@ def run_experiment():
     parallel_blob, parallel_stats, parallel_s = _run(
         positions, workers=WORKERS
     )
+    # Audit-overhead pair: the default serial pass above runs with the
+    # default sampled quality audit (interval 32); an audit-off pass
+    # isolates its cost.  Best-of-two on each side keeps single-shot
+    # timer jitter from dominating a sub-percent difference.
+    _, _, serial_s2 = _run(positions, workers=0)
+    audit_off_blob, _, audit_off_s = _run(positions, workers=0,
+                                          audit_interval=0)
+    _, _, audit_off_s2 = _run(positions, workers=0, audit_interval=0)
+    audit_overhead_pct = (
+        min(serial_s, serial_s2) / min(audit_off_s, audit_off_s2) - 1.0
+    ) * 100.0
     with recording() as rec:
         t0 = time.perf_counter()
         _, profiled_stats, _ = _run(positions, workers=0)
@@ -82,6 +95,8 @@ def run_experiment():
         "positions": positions,
         "serial": (serial_blob, serial_stats, serial_s),
         "parallel": (parallel_blob, parallel_stats, parallel_s),
+        "audit": (audit_off_blob, min(audit_off_s, audit_off_s2),
+                  audit_overhead_pct),
         "profile": (rec.snapshot(), profiled_stats, profiled_s),
         "traced": (tracer.snapshot(), traced_s),
         "transport": transport_rec.snapshot(),
@@ -98,6 +113,11 @@ def test_fig15_streaming(benchmark, results_dir):
     # is indistinguishable from serial at the byte level.
     assert parallel_blob == serial_blob
 
+    # The quality audit reads finished bytes and never writes any:
+    # switching it off must not change the container either.
+    audit_off_blob, audit_off_s, audit_overhead_pct = out["audit"]
+    assert audit_off_blob == serial_blob
+
     mb = serial_stats.raw_bytes / 1e6
     lines = [
         "Figure 15 companion — streaming pipeline throughput (copper-b, "
@@ -108,6 +128,8 @@ def test_fig15_streaming(benchmark, results_dir):
         f"{f'{WORKERS} workers':12s}{mb / parallel_s:8.2f}"
         f"{parallel_stats.compression_ratio:8.2f}{len(parallel_blob):12d}",
         f"byte-identical: {parallel_blob == serial_blob}",
+        f"audit overhead (interval {MDZConfig().audit_interval}): "
+        f"{audit_overhead_pct:+.2f}%",
     ]
     record(results_dir, "fig15_streaming", "\n".join(lines))
 
@@ -147,6 +169,9 @@ def test_fig15_streaming(benchmark, results_dir):
         "cpu_count": os.cpu_count(),
         "serial_mb_per_s": mb / serial_s,
         "parallel_mb_per_s": mb / parallel_s,
+        "audit_interval": MDZConfig().audit_interval,
+        "audit_off_mb_per_s": mb / audit_off_s,
+        "audit_overhead_pct": audit_overhead_pct,
         "byte_identical": parallel_blob == serial_blob,
         "container_bytes": len(serial_blob),
         "compression_ratio": serial_stats.compression_ratio,

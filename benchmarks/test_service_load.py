@@ -23,7 +23,9 @@ import time
 import numpy as np
 
 from conftest import record, run_once
+from repro import top
 from repro.service import CompressionService, ServiceClient, ServiceConfig
+from repro.telemetry import prom
 
 #: Concurrent tenants (the issue's acceptance floor is 50).
 N_CLIENTS = int(os.environ.get("MDZ_SERVICE_CLIENTS", "50"))
@@ -120,6 +122,29 @@ async def _client_round_trip(port, seed, latencies, counters):
             counters["failures"].append((200, "archive failed verify"))
 
 
+async def _scrape_metrics(port, stop, state):
+    """Poll ``GET /metrics`` while the load runs, validating each scrape.
+
+    Every exposition must survive :func:`repro.telemetry.prom.validate`
+    (single TYPE per family, cumulative histograms, +Inf == _count) —
+    a malformed frame under concurrent-session load fails the run.
+    """
+    async with ServiceClient("127.0.0.1", port) as client:
+        while True:
+            response = await client.request("GET", "/metrics")
+            if response.status == 200:
+                text = response.body.decode("utf-8")
+                prom.validate(text)
+                state["text"] = text
+                state["scrapes"] += 1
+            if stop.is_set():
+                return
+            try:
+                await asyncio.wait_for(stop.wait(), timeout=0.25)
+            except asyncio.TimeoutError:
+                pass
+
+
 async def _run_load() -> dict:
     service = CompressionService(ServiceConfig(port=0, session_ttl=600.0))
     await service.start()
@@ -132,7 +157,13 @@ async def _run_load() -> dict:
         "raw_bytes": 0,
         "failures": [],
     }
+    scrape_state = {"text": "", "scrapes": 0}
+    stop_scraping = asyncio.Event()
+    scraper = asyncio.create_task(
+        _scrape_metrics(service.port, stop_scraping, scrape_state)
+    )
     t0 = time.perf_counter()
+    scrape_error = None
     try:
         await asyncio.gather(
             *(
@@ -142,7 +173,16 @@ async def _run_load() -> dict:
         )
         elapsed = time.perf_counter() - t0
     finally:
+        stop_scraping.set()
+        try:
+            await scraper
+        except Exception as exc:  # validated after shutdown
+            scrape_error = exc
         await service.shutdown()
+    if scrape_error is not None:
+        raise scrape_error
+    families = prom.parse(scrape_state["text"])
+    totals = top.counter_totals(families)
     lat = np.asarray(latencies)
     return {
         "benchmark": "service_load",
@@ -169,6 +209,15 @@ async def _run_load() -> dict:
             if counters["archive_bytes"]
             else None
         ),
+        "metrics": {
+            "scrapes": scrape_state["scrapes"],
+            "families": len(families),
+            "audits": totals.get("mdz_quality_audits_total", 0.0),
+            "bound_violations": totals.get(
+                "mdz_quality_bound_violations_total", 0.0
+            ),
+        },
+        "_exposition": scrape_state["text"],
     }
 
 
@@ -178,6 +227,8 @@ def run_experiment() -> dict:
 
 def test_service_load(benchmark, results_dir):
     results = run_once(benchmark, run_experiment)
+    exposition = results.pop("_exposition")
+    (results_dir / "BENCH_service_metrics.prom").write_text(exposition)
     (results_dir / "BENCH_service.json").write_text(
         json.dumps(results, indent=2) + "\n"
     )
@@ -201,3 +252,6 @@ def test_service_load(benchmark, results_dir):
     )
     assert results["clients"] >= 50 or "MDZ_SERVICE_CLIENTS" in os.environ
     assert results["errors"] == 0, results["failures"]
+    metrics = results["metrics"]
+    assert metrics["scrapes"] >= 1, "never scraped /metrics under load"
+    assert metrics["bound_violations"] == 0, metrics

@@ -152,6 +152,7 @@ def _config_from_args(args: argparse.Namespace) -> MDZConfig:
         sequence_mode=args.sequence,
         quantization_scale=args.scale,
         entropy_streams=getattr(args, "entropy_streams", None),
+        audit_interval=getattr(args, "audit_interval", 32),
     )
 
 
@@ -216,6 +217,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         max_body=args.max_body_mb * 1024 * 1024,
         session_ttl=args.session_ttl,
+        log_json=args.log_json,
     )
     print(
         f"mdz service on http://{config.host}:{config.port} "
@@ -234,16 +236,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .top import render_snapshot_file, run
+
+    if args.file:
+        print(render_snapshot_file(args.file, color=not args.no_color))
+        return 0
+    return run(
+        args.url,
+        interval=args.interval,
+        once=args.once,
+        color=False if args.no_color else None,
+    )
+
+
 def _format_stage_table(
     snapshot: dict, wall_seconds: float, container_bytes: int
 ) -> str:
     """Human-readable per-stage breakdown of one telemetry snapshot."""
     lines = []
-    timers = snapshot.get("timers", {})
+    # Timers that share a name with a gauge are value *distributions*
+    # (quality.ratio, quality.bound_margin, ...) fed through observe(),
+    # not durations — keep them out of the wall-clock stage table.
+    gauges = snapshot.get("gauges", {})
+    timers = {
+        name: cell
+        for name, cell in snapshot.get("timers", {}).items()
+        if name not in gauges
+    }
     if timers:
         lines.append(
             f"{'stage':28s}{'calls':>8s}{'seconds':>10s}{'% wall':>8s}"
-            f"{'p50 ms':>10s}{'p95 ms':>10s}{'p99 ms':>10s}"
+            f"{'p50 ms':>10s}{'p95 ms':>10s}{'p99 ms':>10s}{'±p95 ms':>9s}"
         )
         for name, cell in sorted(
             timers.items(), key=lambda kv: -kv[1]["seconds"]
@@ -253,10 +277,50 @@ def _format_stage_table(
                 f"{cell[q] * 1e3:10.3f}" if q in cell else f"{'-':>10s}"
                 for q in ("p50", "p95", "p99")
             )
+            widths = cell.get("bucket_widths", {})
+            width = (
+                f"{widths['p95'] * 1e3:9.3f}" if "p95" in widths else f"{'-':>9s}"
+            )
             lines.append(
                 f"{name:28s}{cell['count']:8d}{cell['seconds']:10.3f}"
-                f"{share:7.1f}%{quantiles}"
+                f"{share:7.1f}%{quantiles}{width}"
             )
+        lines.append(
+            "  (percentiles interpolate within power-of-two histogram "
+            "buckets; ±p95 ms is the"
+        )
+        lines.append(
+            "   width of the bucket holding p95 — the quantile's "
+            "resolution; all three widths"
+        )
+        lines.append("   are in the JSON snapshot under bucket_widths)")
+    if gauges:
+        ages = snapshot.get("gauge_age_seconds", {})
+        lines.append("")
+        lines.append(f"{'gauge':36s}{'value':>14s}{'age':>8s}")
+        for name, value in sorted(gauges.items()):
+            age = ages.get(name)
+            age_text = f"{age:7.1f}s" if age is not None else f"{'-':>8s}"
+            lines.append(f"{name:36s}{value:14.6g}{age_text}")
+    windows = snapshot.get("windows", {})
+    window_rows = [
+        (label, windows[label])
+        for label in ("1m", "5m")
+        if windows.get(label, {}).get("rates")
+    ]
+    if window_rows:
+        lines.append("")
+        lines.append(f"{'counter rate (/s)':36s}" + "".join(
+            f"{label:>12s}" for label, _ in window_rows
+        ))
+        names = sorted({
+            name for _, w in window_rows for name in w["rates"]
+        })
+        for name in names:
+            cells = "".join(
+                f"{w['rates'].get(name, 0.0):12.2f}" for _, w in window_rows
+            )
+            lines.append(f"{name:36s}{cells}")
     counters = snapshot.get("counters", {})
     byte_counters = {k: v for k, v in counters.items() if k.endswith("bytes")}
     other_counters = {
@@ -297,6 +361,19 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     finally:
         if args.output:
             sink.close()
+    if getattr(args, "prom", False):
+        from .telemetry import prom
+
+        sys.stdout.write(prom.render(rec.snapshot()))
+        if getattr(args, "metrics_json", None):
+            _write_metrics(
+                args,
+                rec,
+                wall_seconds=elapsed,
+                container_bytes=stats.bytes_written,
+                raw_bytes=stats.raw_bytes,
+            )
+        return 0
     print(
         f"{args.input}: {stats.snapshots} snapshots ({stats.buffers} "
         f"buffers) -> {stats.bytes_written} bytes "
@@ -573,6 +650,15 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: auto-scale with array size)",
         )
         p.add_argument(
+            "--audit-interval",
+            type=int,
+            default=32,
+            metavar="N",
+            help="round-trip decode every Nth buffer per axis to verify "
+            "the error bound (0 disables; never changes output bytes; "
+            "default 32)",
+        )
+        p.add_argument(
             "--metrics-json",
             metavar="PATH",
             help="enable telemetry and write the snapshot to PATH",
@@ -627,9 +713,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="compression worker processes (default: serial)",
     )
     stats.add_argument(
+        "--audit-interval",
+        type=int,
+        default=32,
+        metavar="N",
+        help="round-trip decode every Nth buffer per axis (0 disables)",
+    )
+    stats.add_argument(
         "--metrics-json",
         metavar="PATH",
         help="also write the telemetry snapshot to PATH",
+    )
+    stats.add_argument(
+        "--prom",
+        action="store_true",
+        help="print the snapshot in Prometheus text format instead of "
+        "the stage table",
     )
     stats.set_defaults(func=_cmd_stats)
 
@@ -762,7 +861,44 @@ def build_parser() -> argparse.ArgumentParser:
         default=300.0,
         help="idle seconds before a streaming session expires (default 300)",
     )
+    serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON logs (one object per line) on stderr",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a service's /metrics exposition",
+    )
+    top.add_argument(
+        "--url",
+        default="http://127.0.0.1:8321",
+        help="service base URL (default http://127.0.0.1:8321)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes (default 2)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single frame and exit (for scripts and CI artifacts)",
+    )
+    top.add_argument(
+        "--file",
+        metavar="PATH",
+        help="render a --metrics-json snapshot file instead of scraping",
+    )
+    top.add_argument(
+        "--no-color",
+        action="store_true",
+        help="disable ANSI colors",
+    )
+    top.set_defaults(func=_cmd_top)
     return parser
 
 

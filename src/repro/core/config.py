@@ -56,6 +56,12 @@ class MDZConfig:
         ``1`` forces the legacy single-stream blob format; larger values
         force that many interleaved H2 streams — see
         :meth:`repro.sz.huffman.HuffmanCodec.encode`.
+    audit_interval:
+        Quality-audit sampling interval: every ``audit_interval``-th
+        buffer (per axis, by global buffer index) is round-trip decoded
+        and checked against the error bound
+        (:class:`repro.telemetry.quality.QualityAuditor`).  ``0``
+        disables auditing.  Auditing never changes the encoded bytes.
     """
 
     error_bound: float = 1e-3
@@ -68,6 +74,7 @@ class MDZConfig:
     lossless_backend: str = "zlib"
     level_seed: int = 0
     entropy_streams: int | None = None
+    audit_interval: int = 32
 
     def __post_init__(self) -> None:
         self.validate()
@@ -113,6 +120,11 @@ class MDZConfig:
             raise ConfigurationError(
                 f"entropy_streams must be >= 1 (or None for auto), "
                 f"got {self.entropy_streams}"
+            )
+        if self.audit_interval < 0:
+            raise ConfigurationError(
+                f"audit_interval must be >= 0 (0 disables auditing), "
+                f"got {self.audit_interval}"
             )
 
     @property

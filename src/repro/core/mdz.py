@@ -230,6 +230,22 @@ class MDZAxisCompressor(Compressor):
         if self.config.method == "adp":
             self._selector.note_external()
 
+    def audit_decoder(self) -> "MDZAxisCompressor":
+        """A fresh decode-only session mirroring this one's frozen state.
+
+        Built the way a real :class:`~repro.stream.reader.StreamingReader`
+        rebuilds a decode session — same config, same resolved bound,
+        seeded with the frozen reference snapshot and level fit — so the
+        quality auditor (:mod:`repro.telemetry.quality`) round-trips a
+        blob through exactly the bytes-to-values path a reader would use,
+        not through this session's private encoder-side state.
+        """
+        state = self._require_state()
+        decoder = MDZAxisCompressor(self.config)
+        decoder.begin(self.error_bound, self.meta)
+        decoder.seed_session(state.reference, state.levels.fit)
+        return decoder
+
 
 class MDZ:
     """Whole-trajectory MDZ compressor producing ``.mdz`` containers.

@@ -36,6 +36,7 @@ import numpy as np
 from ..baselines.api import SessionMeta
 from ..core.config import MDZConfig
 from ..core.mdz import MDZAxisCompressor
+from ..telemetry import QualityAuditor
 from ..exceptions import (
     CompressionError,
     ContainerFormatError,
@@ -112,13 +113,23 @@ def write_container(positions: np.ndarray, config: MDZConfig) -> bytes:
     bounds = _axis_bounds(work, config)
     sessions = _sessions(config, bounds, n_atoms)
     bs = config.buffer_size
+    auditor = QualityAuditor(config.audit_interval)
     blobs: list[bytes] = []
     offsets: list[int] = []
     cursor = 0
     for t0 in range(0, t_count, bs):
         chunk = work[t0 : t0 + bs]
+        buffer_index = t0 // bs
         for a in range(n_axes):
             blob = sessions[a].compress_batch(chunk[:, :, a])
+            if auditor.want(buffer_index):
+                auditor.audit(
+                    sessions[a],
+                    blob,
+                    chunk[:, :, a],
+                    buffer_index=buffer_index,
+                    axis=a,
+                )
             offsets.append(cursor)
             cursor += len(blob)
             blobs.append(blob)

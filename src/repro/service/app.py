@@ -5,8 +5,8 @@
 * **endpoints** — one-shot ``compress``/``decompress``/``verify`` plus
   the session API (``POST /v1/sessions``, ``.../feed``, ``.../close``,
   ``.../archive``, ``.../stats``, ``.../trace``) and server-wide
-  ``healthz``/``stats``/``trace``; see ``docs/service.md`` for the wire
-  reference;
+  ``healthz``/``stats``/``trace`` plus the Prometheus scrape endpoint
+  ``GET /metrics``; see ``docs/service.md`` for the wire reference;
 * **backpressure** — the executor's bounded-queue discipline applied at
   the network edge: at most ``max_pending`` CPU-bound requests are
   admitted at once.  Where the in-process executor *blocks* its
@@ -47,6 +47,8 @@ from ..core.mdz import MDZ
 from ..exceptions import ReproError
 from ..io.container import verify_container
 from ..telemetry import recording, to_chrome_trace
+from ..telemetry import prom
+from ..telemetry.logging import configure_json_logging, get_logger
 from ..telemetry.tracing import TracingRecorder
 from . import http
 from .errors import (
@@ -60,6 +62,8 @@ from .errors import (
 )
 from .payload import decode_array, encode_array
 from .sessions import CLOSED, OPEN, SessionManager, config_from_request
+
+_log = get_logger("service")
 
 
 @dataclass
@@ -81,6 +85,9 @@ class ServiceConfig:
     sweep_interval: float = 5.0
     #: Seconds to wait for in-flight requests during shutdown.
     drain_timeout: float = 10.0
+    #: Emit structured JSON logs on the ``mdz`` logger tree
+    #: (``mdz serve --log-json``); see :mod:`repro.telemetry.logging`.
+    log_json: bool = False
 
 
 class CompressionService:
@@ -97,7 +104,11 @@ class CompressionService:
             spool.mkdir(parents=True, exist_ok=True)
         self.spool_dir = spool
         self.recorder = TracingRecorder()
-        self.sessions = SessionManager(spool, ttl=self.config.session_ttl)
+        self.sessions = SessionManager(
+            spool,
+            ttl=self.config.session_ttl,
+            on_retire=self._fold_session_quality,
+        )
         self.port: int | None = None  # actual bound port after start()
         self._server: asyncio.base_events.Server | None = None
         self._sweeper: asyncio.Task | None = None
@@ -117,6 +128,10 @@ class CompressionService:
         self.port = self._server.sockets[0].getsockname()[1]
         self._started = time.monotonic()
         self._sweeper = asyncio.create_task(self._sweep_idle_sessions())
+        _log.info(
+            "service listening",
+            extra={"host": self.config.host, "port": self.port},
+        )
 
     async def shutdown(self) -> dict:
         """Graceful stop: drain requests, finalize every live session."""
@@ -134,6 +149,7 @@ class CompressionService:
             )
         report = await self.sessions.shutdown()
         self.recorder.count("service.shutdowns")
+        _log.info("service shut down", extra={"report": report})
         return report
 
     async def serve_forever(self) -> None:
@@ -146,12 +162,31 @@ class CompressionService:
         finally:
             await self.shutdown()
 
+    def _fold_session_quality(self, session) -> None:
+        """Keep quality counters durable as a session leaves the live set.
+
+        Per-session series vanish from ``GET /metrics`` at retirement;
+        folding ``quality.*`` counters into the server recorder keeps
+        ``mdz_quality_bound_violations_total`` monotonic across session
+        lifecycles — the property the alerting recipe in
+        ``docs/service.md`` relies on.
+        """
+        counters = session.recorder.snapshot().get("counters", {})
+        for name, value in counters.items():
+            if name.startswith("quality.") and value:
+                self.recorder.count(name, value)
+
     async def _sweep_idle_sessions(self) -> None:
         while True:
             await asyncio.sleep(self.config.sweep_interval)
             expired = await self.sessions.expire_idle()
             if expired:
                 self.recorder.count("service.sessions_expired", len(expired))
+                _log.warning(
+                    "expired %d idle session(s)",
+                    len(expired),
+                    extra={"tokens": expired},
+                )
 
     # -- connection handling --------------------------------------------
 
@@ -209,6 +244,12 @@ class CompressionService:
         except Exception as exc:  # noqa: BLE001 — a bug must not kill the server
             self.recorder.count("service.errors")
             self.recorder.event("service.internal_error", repr(exc))
+            _log.error(
+                "unhandled error serving %s %s",
+                request.method,
+                request.path,
+                exc_info=exc,
+            )
             response = http.error_response(exc, status=500)
         self.recorder.observe(
             f"service.request.{request.method} {_route_label(request.path)}",
@@ -251,6 +292,9 @@ class CompressionService:
         if parts == ["v1", "stats"]:
             _require(method, "GET")
             return self._stats()
+        if parts == ["metrics"]:
+            _require(method, "GET")
+            return self._metrics()
         if parts == ["v1", "trace"]:
             _require(method, "GET")
             return http.json_response(to_chrome_trace(self.recorder.snapshot()))
@@ -304,13 +348,47 @@ class CompressionService:
         )
 
     def _stats(self) -> http.Response:
+        snapshot = self.recorder.snapshot()
         return http.json_response(
             {
                 "sessions": self.sessions.counts(),
                 "inflight": self._inflight,
                 "max_pending": self.config.max_pending,
-                "telemetry": self.recorder.snapshot(),
+                # Rolling 1m/5m rates and windowed percentiles, lifted to
+                # the top level so dashboards need not dig into telemetry.
+                "windows": snapshot.get("windows", {}),
+                "telemetry": snapshot,
             }
+        )
+
+    def _metrics(self) -> http.Response:
+        """Prometheus exposition: server-wide plus per-tenant series.
+
+        The server recorder renders unlabeled; each live session
+        contributes its counters and gauges labeled
+        ``{session="<token>"}``.  Session timers are left out of the
+        per-tenant parts — the server-wide histograms already aggregate
+        them and per-tenant bucket series would multiply cardinality by
+        the session count.
+        """
+        parts: list[tuple[dict, dict | None]] = [
+            (self.recorder.snapshot(), None)
+        ]
+        for session in self.sessions.live():
+            snap = session.recorder.snapshot()
+            parts.append(
+                (
+                    {
+                        "counters": snap.get("counters", {}),
+                        "gauges": snap.get("gauges", {}),
+                        "gauge_age_seconds": snap.get("gauge_age_seconds", {}),
+                    },
+                    {"session": session.token},
+                )
+            )
+        return http.text_response(
+            prom.render_many(parts),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
         )
 
     async def _compress(self, request: http.Request) -> http.Response:
@@ -448,5 +526,7 @@ def _route_label(path: str) -> str:
 
 async def serve(config: ServiceConfig | None = None) -> None:
     """Run one service until cancelled (the ``mdz serve`` entry point)."""
+    if config is not None and config.log_json:
+        configure_json_logging()
     service = CompressionService(config)
     await service.serve_forever()

@@ -105,6 +105,15 @@ def binary_response(headers: dict, body: bytes, status: int = 200) -> Response:
     return Response(status, merged, body)
 
 
+def text_response(
+    text: str,
+    status: int = 200,
+    content_type: str = "text/plain; charset=utf-8",
+) -> Response:
+    """Plain-text response (e.g. the Prometheus exposition)."""
+    return Response(status, {"Content-Type": content_type}, text.encode())
+
+
 def error_response(exc: BaseException, status: int | None = None) -> Response:
     """Serialize any exception as its structured JSON error body."""
     resp = json_response(

@@ -52,6 +52,7 @@ _CONFIG_FIELDS = {
     "lossless_backend": str,
     "level_seed": int,
     "entropy_streams": int,
+    "audit_interval": int,
 }
 
 
@@ -123,11 +124,26 @@ class SessionManager:
         Monotonic time source, injectable for deterministic expiry tests.
     """
 
-    def __init__(self, spool_dir, ttl: float = 300.0, clock=time.monotonic):
+    def __init__(
+        self,
+        spool_dir,
+        ttl: float = 300.0,
+        clock=time.monotonic,
+        on_retire=None,
+    ):
         self.spool_dir = Path(spool_dir)
         self.ttl = float(ttl)
         self._clock = clock
         self._sessions: dict[str, Session] = {}
+        #: Called with each session as it leaves ``open`` (closed,
+        #: aborted, or expired) — the server folds durable telemetry
+        #: (quality counters) out of the tenant recorder there, since
+        #: per-session series vanish from ``/metrics`` at retirement.
+        self._on_retire = on_retire
+
+    def _retire(self, session: Session) -> None:
+        if self._on_retire is not None:
+            self._on_retire(session)
 
     # -- queries --------------------------------------------------------
 
@@ -212,9 +228,11 @@ class SessionManager:
                 # released itself and discarded the useless spool file —
                 # record that so later requests get a clean 410.
                 session.state = ABORTED
+                self._retire(session)
                 raise
             session.stats = stats
             session.state = CLOSED
+            self._retire(session)
             return stats
 
     @staticmethod
@@ -228,6 +246,7 @@ class SessionManager:
             if session.state == OPEN:
                 await asyncio.to_thread(session.writer.abort)
                 session.state = ABORTED
+                self._retire(session)
 
     def forget(self, token: str) -> None:
         """Remove a session record entirely (after an explicit DELETE)."""
@@ -262,6 +281,7 @@ class SessionManager:
                     continue
                 await asyncio.to_thread(session.writer.abort)
                 session.state = EXPIRED
+                self._retire(session)
                 expired.append(token)
         return expired
 
@@ -286,9 +306,11 @@ class SessionManager:
                     # "cannot finalize an empty stream": never-fed
                     # session; the writer already discarded its file.
                     session.state = ABORTED
+                    self._retire(session)
                     aborted.append(session.token)
                     continue
                 session.stats = stats
                 session.state = CLOSED
+                self._retire(session)
                 finalized.append(session.token)
         return {"finalized": finalized, "aborted": aborted}

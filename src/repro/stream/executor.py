@@ -65,6 +65,9 @@ from ..cluster.level_detect import LevelFit
 from ..core.config import MDZConfig
 from ..core.mdz import MDZAxisCompressor
 from ..telemetry import get_recorder
+from ..telemetry.logging import get_logger
+
+_log = get_logger("stream.executor")
 
 try:  # pragma: no cover - present on every supported platform
     from multiprocessing import shared_memory as _shm
@@ -467,6 +470,10 @@ class ParallelExecutor:
                 get_recorder().event(
                     "stream.executor.pool_start_failed", repr(exc)
                 )
+                _log.warning(
+                    "worker pool failed to start; encoding inline",
+                    exc_info=exc,
+                )
                 self._abandon_pool()
 
     def _abandon_pool(self) -> None:
@@ -496,6 +503,11 @@ class ParallelExecutor:
                 recorder.event(
                     "stream.executor.pool_teardown_error", repr(exc)
                 )
+                _log.error("worker pool teardown failed", exc_info=exc)
+        if pool is not None:
+            _log.warning(
+                "worker pool abandoned; remaining jobs run inline"
+            )
         rerun = 0
         for entry in self._queue:
             if entry[0] == _JOB:

@@ -52,7 +52,7 @@ from ..baselines.api import SessionMeta
 from ..core.config import MDZConfig
 from ..core.mdz import MDZAxisCompressor
 from ..exceptions import CompressionError
-from ..telemetry import get_recorder
+from ..telemetry import QualityAuditor, get_recorder
 from . import format as fmt
 from .executor import (
     AxisJobSpec,
@@ -77,6 +77,10 @@ class StreamStats:
     #: snapshot's dtype).  ``raw_bytes`` counts the source footprint, so
     #: a float64 producer is no longer under-counted as float32.
     source_itemsize: int = 4
+    #: Sampled quality audits run / bound violations they caught (see
+    #: :class:`repro.telemetry.quality.QualityAuditor`).
+    audits: int = 0
+    audit_violations: int = 0
 
     @property
     def compression_ratio(self) -> float:
@@ -100,6 +104,8 @@ class StreamStats:
             "compress_seconds": self.compress_seconds,
             "compression_ratio": self.compression_ratio,
             "source_itemsize": self.source_itemsize,
+            "audits": self.audits,
+            "audit_violations": self.audit_violations,
         }
 
 
@@ -172,6 +178,9 @@ class StreamingWriter:
             self._executor = ParallelExecutor(workers=workers)
             self._owns_executor = True
         self.stats = StreamStats()
+        # Sampled round-trip auditing; deterministic by buffer index so
+        # serial and parallel runs audit identical chunks.
+        self.auditor = QualityAuditor(self.config.audit_interval)
         # Shared-memory handles of published session state, per digest
         # (None = publish declined; the spec then carries state inline).
         self._state_handles: dict[str, tuple | None] = {}
@@ -228,6 +237,13 @@ class StreamingWriter:
         self._buffer.append(arr)
         self.stats.snapshots += 1
         self.stats.raw_bytes += arr.size * self.stats.source_itemsize
+        recorder = get_recorder()
+        if recorder.enabled:
+            # Rolling-window throughput for /metrics and `mdz top`:
+            # together with stream.chunk_bytes this gives raw-in vs
+            # compressed-out rates without touching StreamStats.
+            recorder.count("stream.raw_bytes", arr.size * self.stats.source_itemsize)
+            recorder.count("stream.snapshots")
         if len(self._buffer) >= self.config.buffer_size:
             self._flush()
         else:
@@ -298,6 +314,7 @@ class StreamingWriter:
     def _release(self) -> None:
         self._closed = True
         self._buffer.clear()
+        self.auditor.clear()
         if self._owns_executor:
             self._executor.close()
         if self._owns_fh:
@@ -359,6 +376,10 @@ class StreamingWriter:
             for a in range(batch.shape[2]):
                 session = self._sessions[a]
                 axis_batch = axes_block[a]
+                # Sampled buffers keep a copy of their original values
+                # until the encoded chunk lands (see _collect); the stash
+                # is the only extra memory auditing costs.
+                self.auditor.stash(self._buffer_index, a, axis_batch)
                 method = session.pending_method()
                 if method is None:
                     # First buffer or ADP trial: must run in-session, where
@@ -498,6 +519,18 @@ class StreamingWriter:
                 if recorder.enabled:
                     recorder.count("stream.chunks_written")
                     recorder.count("stream.chunk_bytes", written)
+                original = self.auditor.pop(meta.buffer_index, meta.axis)
+                if original is not None:
+                    report = self.auditor.audit(
+                        self._sessions[meta.axis],
+                        blob,
+                        original,
+                        buffer_index=meta.buffer_index,
+                        axis=meta.axis,
+                    )
+                    self.stats.audits += 1
+                    if not report.within_bound:
+                        self.stats.audit_violations += 1
         if recorder.enabled:
             # Chunks compressed (or in flight) but not yet on disk.
             recorder.gauge("stream.queue_depth", len(self._pending))

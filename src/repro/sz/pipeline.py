@@ -69,6 +69,14 @@ def encode_int_stream(
     if recorder.enabled:
         recorder.count("sz.oos.points", block.wide.size)
         recorder.count("sz.oos.bytes", len(side))
+        # Quality-adjacent signal for the audit plane: the fraction of
+        # points that fell outside the quantizer's representable range.
+        # A drifting/exploding simulation shows up here long before it
+        # hurts ratios enough to notice.
+        if block.codes.size:
+            recorder.gauge(
+                "quality.oos_fraction", block.wide.size / block.codes.size
+            )
         recorder.annotate(
             quant_codes=int(block.codes.size),
             oos_points=int(block.wide.size),

@@ -60,6 +60,12 @@ from .export import (
     write_chrome_trace,
     write_provenance,
 )
+from .logging import (
+    JsonLogFormatter,
+    configure_json_logging,
+    get_logger,
+)
+from .quality import DEFAULT_AUDIT_INTERVAL, QualityAuditor, QualityReport
 from .recorder import (
     MetricsRecorder,
     NullRecorder,
@@ -69,15 +75,24 @@ from .recorder import (
     recording,
     set_recorder,
 )
+from .timeseries import TIMER_BUCKETS, RollingWindows
 from .tracing import TracingRecorder, current_span_id
 
 __all__ = [
+    "DEFAULT_AUDIT_INTERVAL",
+    "JsonLogFormatter",
     "MetricsRecorder",
     "NullRecorder",
     "NULL_RECORDER",
+    "QualityAuditor",
+    "QualityReport",
     "Recorder",
+    "RollingWindows",
+    "TIMER_BUCKETS",
     "TracingRecorder",
+    "configure_json_logging",
     "current_span_id",
+    "get_logger",
     "get_recorder",
     "provenance_lines",
     "recording",

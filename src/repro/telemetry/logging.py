@@ -1,0 +1,114 @@
+"""Structured JSON logging stamped with trace context.
+
+The recorder stack answers *how much* and *how long*; logs answer *what
+happened* for the events that matter individually — a bound violation, a
+worker-pool teardown failure, a session expiring with unsynced data.
+This module keeps those on the stdlib :mod:`logging` tree (so operators
+compose handlers/levels the usual way) while making every record
+machine-parseable and correlated with the rest of the observability
+plane:
+
+* :class:`JsonLogFormatter` renders one JSON object per line with the
+  active span id from :mod:`repro.telemetry.tracing` (when a
+  :class:`~repro.telemetry.tracing.TracingRecorder` span is open on this
+  context) and, for records carrying an exception, the structured
+  error-contract code shared by the HTTP service and the CLI;
+* :func:`get_logger` hands out loggers under the shared ``mdz.`` tree;
+* :func:`configure_json_logging` installs the formatter on that tree —
+  this is what ``mdz serve --log-json`` calls.
+
+Without :func:`configure_json_logging`, ``mdz.*`` loggers inherit the
+process default (warnings and errors to stderr in plain text), so
+library use never silently swallows a violation record.
+
+Log-record schema (absent keys are omitted, extras pass through)::
+
+    {"ts": <unix seconds>, "level": "warning", "logger": "mdz.quality",
+     "message": "...", "span": "1a2b-7", "error": {"code": "...",
+     "type": "DecompressionError", "detail": "..."}, ...extras}
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+
+from .tracing import current_span_id
+
+#: Root of the package's logger tree.
+LOGGER_NAME = "mdz"
+
+#: LogRecord attributes that are not user extras.
+_RESERVED = frozenset(
+    (
+        "args", "asctime", "created", "exc_info", "exc_text", "filename",
+        "funcName", "levelname", "levelno", "lineno", "message", "module",
+        "msecs", "msg", "name", "pathname", "process", "processName",
+        "relativeCreated", "stack_info", "taskName", "thread", "threadName",
+    )
+)
+
+
+def _error_code(exc: BaseException) -> str:
+    """The service error-contract code for ``exc``.
+
+    Imported lazily: telemetry must stay importable without the service
+    package (and vice versa).
+    """
+    try:
+        from ..service.errors import error_code
+
+        return error_code(exc)
+    except Exception:
+        return "internal"
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per record; see the module docstring for schema."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        span = current_span_id()
+        if span is not None:
+            entry["span"] = span
+        if record.exc_info and record.exc_info[1] is not None:
+            exc = record.exc_info[1]
+            entry["error"] = {
+                "code": _error_code(exc),
+                "type": type(exc).__name__,
+                "detail": str(exc),
+            }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key.startswith("_") or key in entry:
+                continue
+            entry[key] = value
+        return json.dumps(entry, sort_keys=True, default=str)
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the shared ``mdz.`` tree (``mdz`` itself for '')."""
+    return logging.getLogger(f"{LOGGER_NAME}.{name}" if name else LOGGER_NAME)
+
+
+def configure_json_logging(
+    stream=None, level: int = logging.INFO
+) -> logging.Handler:
+    """Install the JSON formatter on the ``mdz`` logger tree.
+
+    Returns the installed handler (callers owning a scope, e.g. tests,
+    can ``removeHandler`` it afterwards).  The tree stops propagating to
+    the root logger so records are not double-printed.
+    """
+    root = get_logger()
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLogFormatter())
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return handler

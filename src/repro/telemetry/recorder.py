@@ -19,11 +19,19 @@ re-plumbing constructor arguments through the pipeline layers.
 from __future__ import annotations
 
 import contextvars
-import math
 import threading
 import time
-from bisect import bisect_right
 from collections import deque
+
+from .timeseries import (
+    TIMER_BUCKETS,
+    RollingWindows,
+    bucket_bounds,
+    bucket_index as _bucket_index,
+    bucket_value as _bucket_value,
+    percentile as _percentile,
+    percentile_bucket as _percentile_bucket,
+)
 
 #: Cap on the retained event log (oldest entries are dropped beyond it).
 MAX_EVENTS = 256
@@ -34,34 +42,18 @@ MAX_EVENTS = 256
 #: bounded in *bytes*, not just entries.
 MAX_EVENT_DETAIL = 512
 
-#: Fixed histogram bucket upper bounds for stage timers: powers of two
-#: from 1 µs to ~67 s.  Fixed (not adaptive) so histograms merge across
-#: worker processes by plain addition.
-TIMER_BUCKETS = tuple(1e-6 * 2.0**i for i in range(27))
-
-
-def _bucket_index(seconds: float) -> int:
-    return bisect_right(TIMER_BUCKETS, seconds)
-
-
-def _bucket_value(index: int) -> float:
-    """Representative duration for one bucket (geometric midpoint)."""
-    if index <= 0:
-        return TIMER_BUCKETS[0] / 2.0
-    if index >= len(TIMER_BUCKETS):
-        return TIMER_BUCKETS[-1] * 1.5
-    return math.sqrt(TIMER_BUCKETS[index - 1] * TIMER_BUCKETS[index])
-
-
-def _percentile(hist: dict[int, int], total: int, q: float) -> float:
-    """Histogram-estimated ``q``-quantile (0 < q < 1) of a timer."""
-    target = q * total
-    cum = 0
-    for index in sorted(hist):
-        cum += hist[index]
-        if cum >= target:
-            return _bucket_value(index)
-    return _bucket_value(max(hist) if hist else 0)
+__all__ = [
+    "MAX_EVENTS",
+    "MAX_EVENT_DETAIL",
+    "TIMER_BUCKETS",
+    "MetricsRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "Recorder",
+    "get_recorder",
+    "recording",
+    "set_recorder",
+]
 
 
 class _NullTimer:
@@ -186,19 +178,26 @@ class MetricsRecorder(Recorder):
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
         self._gauges: dict[str, float] = {}
+        #: name -> monotonic time of the gauge's last update, so a stale
+        #: gauge (last value before all sessions closed, say) is
+        #: distinguishable from a live one.
+        self._gauge_updated: dict[str, float] = {}
         #: name -> [call count, total seconds, min, max, {bucket: count}]
         self._timers: dict[str, list] = {}
         self._events: deque[dict] = deque(maxlen=MAX_EVENTS)
+        self._windows = RollingWindows()
 
     # -- recording ------------------------------------------------------
 
     def count(self, name: str, n: int = 1) -> None:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + int(n)
+            self._windows.note_count(name, n)
 
     def gauge(self, name: str, value: float) -> None:
         with self._lock:
             self._gauges[name] = float(value)
+            self._gauge_updated[name] = time.monotonic()
 
     def timer(self, name: str) -> _StageTimer:
         return _StageTimer(self, name)
@@ -220,6 +219,7 @@ class MetricsRecorder(Recorder):
                 cell[3] = seconds
             bucket = _bucket_index(seconds)
             cell[4][bucket] = cell[4].get(bucket, 0) + 1
+            self._windows.note_observe(name, seconds, bucket)
 
     def event(self, name: str, detail: str = "") -> None:
         detail = str(detail)
@@ -230,6 +230,7 @@ class MetricsRecorder(Recorder):
             self._counters[f"events.{name}"] = (
                 self._counters.get(f"events.{name}", 0) + 1
             )
+            self._windows.note_count(f"events.{name}")
 
     # -- reading --------------------------------------------------------
 
@@ -246,14 +247,25 @@ class MetricsRecorder(Recorder):
 
     @staticmethod
     def _timer_view(cell: list) -> dict:
-        """Serializable view of one timer cell, percentiles included."""
+        """Serializable view of one timer cell, percentiles included.
+
+        Percentiles are estimates quantized by the power-of-two
+        histogram: each reported quantile is the geometric midpoint of
+        its containing bucket, so ``bucket_widths`` carries the width of
+        that bucket — the honest resolution of the estimate (roughly
+        ±41 % of the reported value).
+        """
         count, total, lo, hi, hist = cell
         view = {"count": count, "seconds": total}
         if count:
             view["min"] = lo
             view["max"] = hi
+            widths = {}
             for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
                 view[label] = min(max(_percentile(hist, count, q), lo), hi)
+                b_lo, b_hi = bucket_bounds(_percentile_bucket(hist, count, q))
+                widths[label] = b_hi - b_lo
+            view["bucket_widths"] = widths
             view["hist"] = {str(k): v for k, v in sorted(hist.items())}
         return view
 
@@ -263,15 +275,21 @@ class MetricsRecorder(Recorder):
             return self._snapshot_locked()
 
     def _snapshot_locked(self) -> dict:
+        now = time.monotonic()
         return {
             "enabled": True,
             "counters": dict(sorted(self._counters.items())),
             "gauges": dict(sorted(self._gauges.items())),
+            "gauge_age_seconds": {
+                name: max(0.0, now - self._gauge_updated.get(name, now))
+                for name in sorted(self._gauges)
+            },
             "timers": {
                 name: self._timer_view(cell)
                 for name, cell in sorted(self._timers.items())
             },
             "events": list(self._events),
+            "windows": self._windows.snapshot(),
         }
 
     def merge(self, other: dict) -> None:
@@ -284,11 +302,15 @@ class MetricsRecorder(Recorder):
         sees either none or all of the other recorder's aggregates —
         never a torn state with counters folded but timers pending.
         """
+        now = time.monotonic()
+        ages = other.get("gauge_age_seconds", {})
         with self._lock:
             for name, n in other.get("counters", {}).items():
                 self._counters[name] = self._counters.get(name, 0) + int(n)
+                self._windows.note_count(name, n)
             for name, value in other.get("gauges", {}).items():
                 self._gauges[name] = float(value)
+                self._gauge_updated[name] = now - float(ages.get(name, 0.0))
             for name, cell in other.get("timers", {}).items():
                 mine = self._timers.get(name)
                 if mine is None:
@@ -302,6 +324,12 @@ class MetricsRecorder(Recorder):
                 for bucket, n in cell.get("hist", {}).items():
                     bucket = int(bucket)
                     mine[4][bucket] = mine[4].get(bucket, 0) + int(n)
+                self._windows.note_timer(
+                    name,
+                    int(cell["count"]),
+                    float(cell["seconds"]),
+                    cell.get("hist", {}),
+                )
             self._events.extend(other.get("events", ()))
             self._merge_extra_locked(other)
 
@@ -314,8 +342,10 @@ class MetricsRecorder(Recorder):
         with self._lock:
             self._counters.clear()
             self._gauges.clear()
+            self._gauge_updated.clear()
             self._timers.clear()
             self._events.clear()
+            self._windows = RollingWindows()
             self._reset_extra_locked()
 
     def _reset_extra_locked(self) -> None:

@@ -1,0 +1,246 @@
+"""Rolling time windows over recorder activity.
+
+Cumulative counters answer "how much since boot", which is the wrong
+question for a long-running ``mdz serve``: an operator wants *rates* —
+requests per second over the last minute, the p99 of the last five
+minutes — not totals that average a week of idle time into every number.
+
+:class:`RollingWindows` keeps a fixed ring of per-interval buckets
+(default: 72 buckets of 5 s, i.e. six minutes of history).  Each bucket
+holds plain counter deltas and timer histograms over one interval, so a
+trailing window of any length up to the ring span is the sum of whole
+buckets — O(ring size) to aggregate, O(1) memory forever.  Buckets are
+recycled in place: writing into the slot of an expired epoch resets it,
+so an idle recorder carries stale buckets but never reports them (reads
+filter by epoch).
+
+The histograms reuse the recorder's fixed power-of-two bucketing
+(:data:`TIMER_BUCKETS`), which this module canonically defines so that
+:mod:`.recorder`, :mod:`.prom`, and the windows all agree on bucket
+edges; merging across processes stays plain addition.
+
+Thread safety: :class:`RollingWindows` does **not** lock.  It is always
+owned by a :class:`~repro.telemetry.recorder.MetricsRecorder`, which
+calls it under its own lock.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from bisect import bisect_right
+
+#: Fixed histogram bucket upper bounds for stage timers: powers of two
+#: from 1 µs to ~67 s.  Fixed (not adaptive) so histograms merge across
+#: worker processes by plain addition.
+TIMER_BUCKETS = tuple(1e-6 * 2.0**i for i in range(27))
+
+#: Default width of one ring bucket, in seconds.
+DEFAULT_BUCKET_SECONDS = 5.0
+
+#: Default ring length: 72 x 5 s = 360 s, enough to serve a 5 m window.
+DEFAULT_BUCKET_COUNT = 72
+
+#: The trailing windows reported by :meth:`RollingWindows.snapshot`.
+WINDOWS = (("1m", 60.0), ("5m", 300.0))
+
+
+def bucket_index(seconds: float) -> int:
+    """Histogram bucket index for one duration."""
+    return bisect_right(TIMER_BUCKETS, seconds)
+
+
+def bucket_bounds(index: int) -> tuple[float, float]:
+    """``(lower, upper)`` bounds of one histogram bucket in seconds.
+
+    Bucket 0 spans ``(0, TIMER_BUCKETS[0]]``; the overflow bucket's upper
+    bound is reported as 2x the last edge (its true bound is +inf).
+    """
+    if index <= 0:
+        return 0.0, TIMER_BUCKETS[0]
+    if index >= len(TIMER_BUCKETS):
+        return TIMER_BUCKETS[-1], TIMER_BUCKETS[-1] * 2.0
+    return TIMER_BUCKETS[index - 1], TIMER_BUCKETS[index]
+
+
+def bucket_value(index: int) -> float:
+    """Representative duration for one bucket (geometric midpoint)."""
+    if index <= 0:
+        return TIMER_BUCKETS[0] / 2.0
+    if index >= len(TIMER_BUCKETS):
+        return TIMER_BUCKETS[-1] * 1.5
+    return math.sqrt(TIMER_BUCKETS[index - 1] * TIMER_BUCKETS[index])
+
+
+def percentile(hist: dict[int, int], total: int, q: float) -> float:
+    """Histogram-estimated ``q``-quantile (0 < q < 1) of a timer."""
+    target = q * total
+    cum = 0
+    for index in sorted(hist):
+        cum += hist[index]
+        if cum >= target:
+            return bucket_value(index)
+    return bucket_value(max(hist) if hist else 0)
+
+
+def percentile_bucket(hist: dict[int, int], total: int, q: float) -> int:
+    """Index of the bucket containing the ``q``-quantile."""
+    target = q * total
+    cum = 0
+    for index in sorted(hist):
+        cum += hist[index]
+        if cum >= target:
+            return index
+    return max(hist) if hist else 0
+
+
+class _Bucket:
+    """One interval's worth of activity."""
+
+    __slots__ = ("epoch", "counters", "timers")
+
+    def __init__(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.counters: dict[str, int] = {}
+        #: name -> [count, total seconds, {histogram bucket: count}]
+        self.timers: dict[str, list] = {}
+
+    def reset(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.counters.clear()
+        self.timers.clear()
+
+
+class RollingWindows:
+    """Fixed ring of per-interval buckets feeding trailing-window views.
+
+    Parameters
+    ----------
+    bucket_seconds:
+        Width of one ring bucket.
+    buckets:
+        Ring length; the longest servable window is
+        ``bucket_seconds * buckets``.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    __slots__ = ("bucket_seconds", "_ring", "_clock", "_born")
+
+    def __init__(
+        self,
+        bucket_seconds: float = DEFAULT_BUCKET_SECONDS,
+        buckets: int = DEFAULT_BUCKET_COUNT,
+        clock=time.monotonic,
+    ) -> None:
+        if bucket_seconds <= 0:
+            raise ValueError("bucket_seconds must be positive")
+        if buckets < 2:
+            raise ValueError("the ring needs at least two buckets")
+        self.bucket_seconds = float(bucket_seconds)
+        self._ring: list[_Bucket | None] = [None] * int(buckets)
+        self._clock = clock
+        self._born = clock()
+
+    # -- writing ---------------------------------------------------------
+
+    def _bucket(self) -> _Bucket:
+        epoch = int(self._clock() / self.bucket_seconds)
+        slot = epoch % len(self._ring)
+        bucket = self._ring[slot]
+        if bucket is None:
+            bucket = self._ring[slot] = _Bucket(epoch)
+        elif bucket.epoch != epoch:
+            bucket.reset(epoch)
+        return bucket
+
+    def note_count(self, name: str, n: int = 1) -> None:
+        """Fold ``n`` into the current bucket's counter ``name``."""
+        counters = self._bucket().counters
+        counters[name] = counters.get(name, 0) + int(n)
+
+    def note_observe(self, name: str, seconds: float, index: int) -> None:
+        """Fold one timed interval (pre-bucketed at ``index``)."""
+        self.note_timer(name, 1, seconds, {index: 1})
+
+    def note_timer(
+        self, name: str, count: int, seconds: float, hist: dict
+    ) -> None:
+        """Fold an aggregated timer cell (e.g. a merged worker snapshot).
+
+        Worker-side activity arrives as whole snapshots at merge time, so
+        it lands in the bucket of the *merge*, not of the original calls
+        — at most one flush late, which is within a bucket's resolution.
+        """
+        timers = self._bucket().timers
+        cell = timers.get(name)
+        if cell is None:
+            cell = timers[name] = [0, 0.0, {}]
+        cell[0] += int(count)
+        cell[1] += float(seconds)
+        h = cell[2]
+        for index, n in hist.items():
+            index = int(index)
+            h[index] = h.get(index, 0) + int(n)
+
+    # -- reading ---------------------------------------------------------
+
+    def window(self, seconds: float) -> dict:
+        """Aggregate view of the trailing ``seconds`` (whole buckets).
+
+        Returns ``{"seconds", "counters", "rates", "timers"}`` where
+        ``seconds`` is the *effective* span — clamped to the recorder's
+        uptime so a 10-second-old process reports honest per-second
+        rates instead of diluting 10 s of traffic over a 60 s window.
+        """
+        now = self._clock()
+        now_epoch = int(now / self.bucket_seconds)
+        span = max(1, math.ceil(seconds / self.bucket_seconds))
+        span = min(span, len(self._ring))
+        oldest = now_epoch - span + 1
+        counters: dict[str, int] = {}
+        timers: dict[str, list] = {}
+        for bucket in self._ring:
+            if bucket is None or not oldest <= bucket.epoch <= now_epoch:
+                continue
+            for name, n in bucket.counters.items():
+                counters[name] = counters.get(name, 0) + n
+            for name, cell in bucket.timers.items():
+                mine = timers.get(name)
+                if mine is None:
+                    mine = timers[name] = [0, 0.0, {}]
+                mine[0] += cell[0]
+                mine[1] += cell[1]
+                for index, n in cell[2].items():
+                    mine[2][index] = mine[2].get(index, 0) + n
+        # Effective span: the window cannot predate the ring's birth, and
+        # the current bucket is only partially elapsed.
+        elapsed = max(now - self._born, self.bucket_seconds * 1e-3)
+        effective = min(
+            (span - 1) * self.bucket_seconds
+            + (now - now_epoch * self.bucket_seconds),
+            elapsed,
+        )
+        rates = {
+            name: n / effective for name, n in sorted(counters.items())
+        }
+        timer_views = {}
+        for name, (count, total, hist) in sorted(timers.items()):
+            view = {"count": count, "seconds": total}
+            if count:
+                for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+                    view[label] = percentile(hist, count, q)
+            timer_views[name] = view
+        return {
+            "seconds": effective,
+            "counters": dict(sorted(counters.items())),
+            "rates": rates,
+            "timers": timer_views,
+        }
+
+    def snapshot(self) -> dict:
+        """All standard trailing windows, JSON-serializable."""
+        return {
+            "bucket_seconds": self.bucket_seconds,
+            **{label: self.window(seconds) for label, seconds in WINDOWS},
+        }

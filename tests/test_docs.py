@@ -15,11 +15,32 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "tools"))
 
 import check_docs_links  # noqa: E402
+import list_metrics  # noqa: E402
 
 
 def test_repo_docs_have_no_broken_references():
     problems = check_docs_links.check(REPO_ROOT)
     assert problems == [], "\n".join(problems)
+
+
+def test_metrics_reference_is_in_sync():
+    """docs/metrics.md must match what the source tree actually emits."""
+    expected = list_metrics.generate(REPO_ROOT)
+    path = REPO_ROOT / "docs" / "metrics.md"
+    assert path.exists(), "docs/metrics.md missing; run tools/list_metrics.py"
+    assert path.read_text() == expected, (
+        "docs/metrics.md is stale; run `python tools/list_metrics.py`"
+    )
+
+
+def test_metrics_scan_sees_the_core_instruments():
+    """The scanner's regex keeps finding the known load-bearing metrics."""
+    found = list_metrics.scan(REPO_ROOT)
+    assert "quality.bound_violations" in found["count"]
+    assert "quality.max_abs_error" in found["gauge"]
+    assert "quality.audit" in found["timer"]
+    assert "service.request.<method> <path>" in found["observe"]
+    assert "stream.executor.job_failed" in found["event"]
 
 
 def test_checker_flags_broken_link_and_anchor(tmp_path):

@@ -1,0 +1,119 @@
+"""Structured JSON logging: formatter schema, spans, error codes.
+
+Every record on the ``mdz`` logger tree must serialize to one JSON
+object per line with a stable envelope (``ts``/``level``/``logger``/
+``message``), the active trace span when one is open, the service error
+contract's code for exceptions, and any ``extra={...}`` fields — so a
+log pipeline can index MDZ logs without regexes.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+from repro.exceptions import CompressionError
+from repro.telemetry import recording
+from repro.telemetry.logging import (
+    JsonLogFormatter,
+    configure_json_logging,
+    get_logger,
+)
+from repro.telemetry.tracing import TracingRecorder
+
+
+def _record_via(configure_stream, emit):
+    root = logging.getLogger("mdz")
+    prior_propagate, prior_level = root.propagate, root.level
+    handler = configure_json_logging(stream=configure_stream)
+    try:
+        emit()
+    finally:
+        # configure_json_logging owns the tree for a process lifetime;
+        # a test scope must put back what it flipped (propagate=False
+        # would blind later tests' caplog).
+        root.removeHandler(handler)
+        root.propagate = prior_propagate
+        root.setLevel(prior_level)
+    lines = [l for l in configure_stream.getvalue().splitlines() if l]
+    return [json.loads(l) for l in lines]
+
+
+def test_envelope_fields():
+    stream = io.StringIO()
+    logs = _record_via(
+        stream, lambda: get_logger("unit").info("hello %s", "world")
+    )
+    (entry,) = logs
+    assert entry["message"] == "hello world"
+    assert entry["level"] == "info"
+    assert entry["logger"] == "mdz.unit"
+    assert isinstance(entry["ts"], float)
+
+
+def test_extra_fields_pass_through():
+    stream = io.StringIO()
+    logs = _record_via(
+        stream,
+        lambda: get_logger("unit").warning(
+            "expired", extra={"tokens": ["a", "b"], "count": 2}
+        ),
+    )
+    (entry,) = logs
+    assert entry["tokens"] == ["a", "b"]
+    assert entry["count"] == 2
+
+
+def test_span_id_stamped_inside_trace():
+    stream = io.StringIO()
+    recorder = TracingRecorder()
+
+    def emit():
+        with recording(recorder):
+            with recorder.span("outer"):
+                get_logger("unit").info("inside")
+        get_logger("unit").info("outside")
+
+    inside, outside = _record_via(stream, emit)
+    assert "span" in inside and inside["span"]
+    assert "span" not in outside
+
+
+def test_exception_carries_error_contract_code():
+    stream = io.StringIO()
+
+    def emit():
+        try:
+            raise CompressionError("buffer exploded")
+        except CompressionError:
+            get_logger("unit").error("encode failed", exc_info=True)
+
+    (entry,) = _record_via(stream, emit)
+    assert entry["error"]["type"] == "CompressionError"
+    assert "buffer exploded" in entry["error"]["detail"]
+    # The code matches the HTTP service's error contract vocabulary.
+    from repro.service.errors import error_code
+
+    assert entry["error"]["code"] == error_code(CompressionError("x"))
+
+
+def test_formatter_output_is_single_line_json():
+    formatter = JsonLogFormatter()
+    record = logging.LogRecord(
+        "mdz.x", logging.INFO, __file__, 1, "multi\nline %d", (7,), None
+    )
+    text = formatter.format(record)
+    assert "\n" not in text
+    assert json.loads(text)["message"] == "multi\nline 7"
+
+
+def test_configure_is_scoped_to_mdz_tree():
+    stream = io.StringIO()
+
+    def emit():
+        get_logger("unit").info("ours")
+        logging.getLogger("someone.else").info("not ours")
+
+    logs = _record_via(stream, emit)
+    assert [e["message"] for e in logs] == ["ours"]

@@ -1,0 +1,229 @@
+"""The quality-audit plane: sampled round-trip error-bound verification.
+
+Covers the contract end to end: deterministic sampling (serial and
+parallel runs audit the same buffers and write byte-identical archives),
+metric agreement with the reference definitions in
+:mod:`repro.analysis.metrics`, and — through the faults shims — the
+hard-violation path: a corrupted encoded chunk must drive
+``quality.bound_violations`` from 0 to >= 1 and emit a structured event.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import max_error, psnr
+from repro.baselines.api import SessionMeta
+from repro.core.config import MDZConfig
+from repro.core.mdz import MDZAxisCompressor
+from repro.exceptions import ConfigurationError
+from repro.faults import apply_posthoc
+from repro.faults.plan import FaultSpec
+from repro.stream.writer import StreamingWriter
+from repro.telemetry import MetricsRecorder, QualityAuditor, recording
+
+
+def _trajectory(snapshots=48, atoms=80, axes=3, seed=7):
+    rng = np.random.default_rng(seed)
+    steps = rng.normal(scale=0.02, size=(snapshots, atoms, axes))
+    return np.cumsum(steps, axis=0).astype(np.float64)
+
+
+def _session(data_2d, bound=1e-3):
+    config = MDZConfig(error_bound=bound, error_bound_mode="absolute")
+    session = MDZAxisCompressor(config)
+    session.begin(bound, SessionMeta(n_atoms=data_2d.shape[1]))
+    return session
+
+
+class TestAuditorUnit:
+    def test_clean_roundtrip_is_within_bound(self):
+        data = _trajectory()[:, :, 0]
+        session = _session(data)
+        blob = session.compress_batch(data)
+        auditor = QualityAuditor(interval=1)
+        with recording() as rec:
+            report = auditor.audit(
+                session, blob, data, buffer_index=0, axis=0
+            )
+        assert report.within_bound
+        assert report.max_abs_error <= 1e-3 * (1 + 1e-9)
+        assert auditor.violations == 0
+        snap = rec.snapshot()
+        assert snap["counters"]["quality.audits"] == 1
+        assert snap["counters"].get("quality.bound_violations", 0) == 0
+        assert "quality.max_abs_error" in snap["gauges"]
+
+    def test_metrics_agree_with_reference_definitions(self):
+        """Audit PSNR/max-error match repro.analysis.metrics bit for bit."""
+        data = _trajectory()[:, :, 1]
+        session = _session(data)
+        blob = session.compress_batch(data)
+        recon = np.asarray(
+            session.audit_decoder().decompress_batch(blob), dtype=np.float64
+        )
+        report = QualityAuditor(interval=1).audit(
+            session, blob, data, buffer_index=0, axis=0
+        )
+        assert report.max_abs_error == pytest.approx(
+            max_error(data, recon), rel=0, abs=0
+        )
+        assert report.psnr == pytest.approx(psnr(data, recon), rel=1e-12)
+
+    def test_corrupted_blob_is_a_hard_violation(self, caplog):
+        """Post-hoc corruption through the faults shim trips the counter."""
+        data = _trajectory()[:, :, 0]
+        session = _session(data)
+        blob = session.compress_batch(data)
+        bad = apply_posthoc(
+            blob,
+            [FaultSpec("corrupt", offset=len(blob) // 2, length=8,
+                       xor_mask=0x5A)],
+        )
+        assert bad != blob
+        auditor = QualityAuditor(interval=1)
+        with recording() as rec, caplog.at_level(
+            logging.ERROR, logger="mdz.quality"
+        ):
+            report = auditor.audit(
+                session, bad, data, buffer_index=0, axis=0
+            )
+        assert not report.within_bound
+        assert auditor.violations == 1
+        snap = rec.snapshot()
+        assert snap["counters"]["quality.bound_violations"] == 1
+        events = [e for e in snap["events"]
+                  if e["name"] == "quality.bound_violation"]
+        assert len(events) == 1 and "buffer 0 axis 0" in events[0]["detail"]
+        # The structured log record fires even without a recorder.
+        assert any("error-bound violation" in r.getMessage()
+                   for r in caplog.records)
+
+    def test_decode_failure_reports_infinite_error(self):
+        data = _trajectory()[:, :, 0]
+        session = _session(data)
+        report = QualityAuditor(interval=1).audit(
+            session, b"not a blob", data, buffer_index=0, axis=0
+        )
+        assert not report.within_bound
+        assert report.decode_error is not None
+        assert math.isinf(report.max_abs_error)
+        assert report.psnr == -math.inf
+
+    def test_disabled_auditor_is_a_noop(self):
+        auditor = QualityAuditor(interval=0)
+        assert not auditor.enabled
+        assert not auditor.want(0)
+        auditor.stash(0, 0, np.zeros((2, 2)))
+        assert auditor.pop(0, 0) is None
+
+    def test_sampling_is_by_buffer_index(self):
+        auditor = QualityAuditor(interval=4)
+        assert [i for i in range(12) if auditor.want(i)] == [0, 4, 8]
+
+
+class TestWriterIntegration:
+    def test_stream_counts_audits(self, tmp_path):
+        data = _trajectory(snapshots=40)
+        config = MDZConfig(
+            error_bound=1e-3, error_bound_mode="absolute",
+            buffer_size=8, audit_interval=2,
+        )
+        with recording() as rec:
+            with StreamingWriter(tmp_path / "a.mdz", config) as writer:
+                for snap in data:
+                    writer.feed(snap)
+                stats = writer.close()
+        # 5 buffers, indices 0/2/4 sampled, 3 axes each.
+        assert stats.audits == 9
+        assert stats.audit_violations == 0
+        assert stats.to_dict()["audits"] == 9
+        assert rec.snapshot()["counters"]["quality.audits"] == 9
+
+    def test_serial_and_parallel_audit_identically(self, tmp_path):
+        """Same sampled buffers, same archive bytes, with and without
+        workers — auditing never touches the encode path."""
+        data = _trajectory(snapshots=48)
+        audited = {}
+        blobs = {}
+        for label, workers in (("serial", 0), ("parallel", 2)):
+            config = MDZConfig(
+                error_bound=1e-3, error_bound_mode="absolute",
+                buffer_size=6, audit_interval=3,
+            )
+            path = tmp_path / f"{label}.mdz"
+            with StreamingWriter(path, config, workers=workers) as writer:
+                for snap in data:
+                    writer.feed(snap)
+                audited[label] = None
+                stats = writer.close()
+                audited[label] = sorted(writer.auditor.audited)
+            blobs[label] = path.read_bytes()
+            assert stats.audit_violations == 0
+        assert audited["serial"] == audited["parallel"]
+        assert audited["serial"]  # the sample is not empty
+        assert blobs["serial"] == blobs["parallel"]
+
+    def test_audit_interval_does_not_change_bytes(self, tmp_path):
+        data = _trajectory(snapshots=30)
+        blobs = []
+        for interval in (0, 1, 32):
+            config = MDZConfig(
+                error_bound=1e-3, error_bound_mode="absolute",
+                buffer_size=5, audit_interval=interval,
+            )
+            path = tmp_path / f"i{interval}.mdz"
+            with StreamingWriter(path, config) as writer:
+                for snap in data:
+                    writer.feed(snap)
+                writer.close()
+            blobs.append(path.read_bytes())
+        assert blobs[0] == blobs[1] == blobs[2]
+
+    def test_corrupting_encoder_trips_stream_violations(
+        self, tmp_path, monkeypatch
+    ):
+        """End to end: chunks corrupted between encode and commit (the
+        faults shim plays bit rot) must surface as stream violations."""
+        real = MDZAxisCompressor.compress_batch
+
+        def corrupting(self, batch):
+            blob = real(self, batch)
+            return apply_posthoc(
+                blob,
+                [FaultSpec("corrupt", offset=len(blob) // 2, length=8,
+                           xor_mask=0x3C)],
+            )
+
+        monkeypatch.setattr(MDZAxisCompressor, "compress_batch", corrupting)
+        data = _trajectory(snapshots=16)
+        config = MDZConfig(
+            error_bound=1e-3, error_bound_mode="absolute",
+            buffer_size=8, audit_interval=1,
+        )
+        with recording() as rec:
+            with StreamingWriter(tmp_path / "bad.mdz", config) as writer:
+                for snap in data:
+                    writer.feed(snap)
+                stats = writer.close()
+        assert stats.audits > 0
+        assert stats.audit_violations >= 1
+        snap = rec.snapshot()
+        assert snap["counters"]["quality.bound_violations"] >= 1
+        assert any(e["name"] == "quality.bound_violation"
+                   for e in snap["events"])
+
+
+def test_negative_audit_interval_rejected():
+    with pytest.raises(ConfigurationError):
+        MDZConfig(audit_interval=-1).validate()
+
+
+def test_config_default_interval_matches_auditor_default():
+    from repro.telemetry.quality import DEFAULT_AUDIT_INTERVAL
+
+    assert MDZConfig().audit_interval == DEFAULT_AUDIT_INTERVAL

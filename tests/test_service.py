@@ -355,6 +355,68 @@ class TestSessions:
         assert report["aborted"] == [token]
 
 
+class TestMetricsEndpoint:
+    def test_exposition_validates_and_quality_survives_retirement(self):
+        """`GET /metrics` is parser-clean, labels live sessions, and
+        keeps quality counters monotonic after the session closes."""
+        traj = _trajectory(2)
+
+        async def main():
+            async with running_service() as svc:
+                async with ServiceClient("127.0.0.1", svc.port) as client:
+                    created = await client.post_json(
+                        "/v1/sessions",
+                        {
+                            "error_bound": 1e-3,
+                            "buffer_size": 4,
+                            "audit_interval": 1,
+                        },
+                    )
+                    assert created.status == 201
+                    token = created.json()["token"]
+                    fed = await client.post_array(
+                        f"/v1/sessions/{token}/feed", traj
+                    )
+                    assert fed.status == 200
+                    live = await client.request("GET", "/metrics")
+                    closed = await client.request(
+                        "POST", f"/v1/sessions/{token}/close"
+                    )
+                    assert closed.status == 200
+                    retired = await client.request("GET", "/metrics")
+                    return token, live, retired
+
+        token, live, retired = run(main())
+        from repro.telemetry import prom
+
+        assert live.status == 200
+        assert live.headers["content-type"].startswith(
+            "text/plain; version=0.0.4"
+        )
+        families = prom.validate(live.body.decode("utf-8"))
+        types = {entry["type"] for entry in families.values()}
+        assert {"counter", "gauge", "histogram"} <= types
+        live_tokens = {
+            labels["session"]
+            for entry in families.values()
+            for (_, labels, _) in entry["samples"]
+            if "session" in labels
+        }
+        assert live_tokens == {token}
+        # After close the tenant's series leave the exposition, but its
+        # quality counters fold into the unlabeled server families —
+        # bound-violation alerts must see a monotonic counter.
+        after = prom.validate(retired.body.decode("utf-8"))
+        audits = [
+            value
+            for (_, labels, value) in
+            after["mdz_quality_audits_total"]["samples"]
+            if "session" not in labels
+        ]
+        # 12 snapshots / buffer_size 4 = 3 buffers, 3 axes, interval 1.
+        assert sum(audits) == 9
+
+
 class TestBackpressure:
     def test_over_capacity_yields_structured_429(self):
         async def main():

@@ -1,0 +1,150 @@
+"""Rolling windows and the shared histogram-bucket math.
+
+:class:`RollingWindows` is driven with an injectable clock, so every
+assertion about 1m/5m rates, bucket recycling, and uptime clamping is
+deterministic — no sleeps.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.telemetry import MetricsRecorder, RollingWindows, TIMER_BUCKETS
+from repro.telemetry.timeseries import (
+    bucket_bounds,
+    bucket_index,
+    bucket_value,
+    percentile,
+)
+
+
+class _Clock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+
+class TestBucketMath:
+    def test_bounds_bracket_their_bucket(self):
+        for seconds in (2e-6, 1e-3, 0.5, 30.0):
+            idx = bucket_index(seconds)
+            lo, hi = bucket_bounds(idx)
+            assert lo <= seconds <= hi
+            assert lo < bucket_value(idx) < hi
+
+    def test_first_and_overflow_buckets(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(1e30) == len(TIMER_BUCKETS)
+        lo, hi = bucket_bounds(len(TIMER_BUCKETS))
+        # The overflow bucket extrapolates one more doubling instead of
+        # +inf, so reported percentile widths stay finite.
+        assert lo == TIMER_BUCKETS[-1]
+        assert hi == pytest.approx(2 * TIMER_BUCKETS[-1])
+
+    def test_percentile_interpolates(self):
+        hist = {10: 50, 12: 50}
+        p50 = percentile(hist, 100, 0.50)
+        lo, hi = bucket_bounds(10)
+        assert lo <= p50 <= hi
+        p99 = percentile(hist, 100, 0.99)
+        lo, hi = bucket_bounds(12)
+        assert lo <= p99 <= hi
+
+
+class TestRollingWindows:
+    def test_rates_reflect_recent_counts_only(self):
+        clock = _Clock()
+        win = RollingWindows(bucket_seconds=5.0, buckets=72, clock=clock)
+        win.note_count("reqs", 100)
+        clock.now += 60.0
+        win.note_count("reqs", 30)
+        view = win.window(60.0)
+        # The 100-count bucket fell off the 1m edge; only 30 remain.
+        assert view["counters"]["reqs"] == 30
+        assert view["rates"]["reqs"] == 30 / view["seconds"]
+        assert win.window(300.0)["counters"]["reqs"] == 130
+
+    def test_span_clamped_to_uptime(self):
+        clock = _Clock()
+        win = RollingWindows(bucket_seconds=5.0, clock=clock)
+        win.note_count("x", 10)
+        clock.now += 2.0
+        view = win.window(60.0)
+        # Two seconds of history cannot claim a 60-second denominator.
+        assert view["seconds"] <= 5.0
+        assert view["rates"]["x"] >= 10 / 5.0
+
+    def test_buckets_recycle_after_full_rotation(self):
+        clock = _Clock()
+        win = RollingWindows(bucket_seconds=1.0, buckets=4, clock=clock)
+        win.note_count("x", 1)
+        clock.now += 10.0  # far past the ring's span
+        win.note_count("x", 2)
+        assert win.window(4.0)["counters"]["x"] == 2
+
+    def test_timer_percentiles_windowed(self):
+        clock = _Clock()
+        win = RollingWindows(bucket_seconds=5.0, clock=clock)
+        for _ in range(100):
+            win.note_observe("stage", 1e-3, bucket_index(1e-3))
+        view = win.window(60.0)
+        cell = view["timers"]["stage"]
+        assert cell["count"] == 100
+        lo, hi = bucket_bounds(bucket_index(1e-3))
+        for q in ("p50", "p95", "p99"):
+            assert lo <= cell[q] <= hi
+
+    def test_snapshot_shape(self):
+        win = RollingWindows(clock=_Clock())
+        win.note_count("c", 1)
+        snap = win.snapshot()
+        assert set(snap) == {"bucket_seconds", "1m", "5m"}
+        assert snap["1m"]["counters"]["c"] == 1
+
+
+class TestRecorderIntegration:
+    def test_snapshot_carries_windows_and_gauge_ages(self):
+        rec = MetricsRecorder()
+        rec.count("hits", 3)
+        rec.gauge("depth", 7.0)
+        with rec.timer("work"):
+            pass
+        snap = rec.snapshot()
+        assert snap["windows"]["1m"]["counters"]["hits"] == 3
+        assert "work" in snap["windows"]["1m"]["timers"]
+        assert snap["gauge_age_seconds"]["depth"] >= 0.0
+        assert "bucket_widths" in snap["timers"]["work"]
+        widths = snap["timers"]["work"]["bucket_widths"]
+        assert set(widths) == {"p50", "p95", "p99"}
+        assert all(w > 0 for w in widths.values())
+
+    def test_merge_folds_windows_and_ages(self):
+        worker = MetricsRecorder()
+        worker.count("jobs", 5)
+        worker.gauge("ratio", 2.0)
+        with worker.timer("encode"):
+            pass
+        main = MetricsRecorder()
+        main.merge(worker.snapshot())
+        snap = main.snapshot()
+        assert snap["windows"]["1m"]["counters"]["jobs"] == 5
+        assert snap["windows"]["1m"]["timers"]["encode"]["count"] == 1
+        assert snap["gauge_age_seconds"]["ratio"] >= 0.0
+
+    def test_reset_clears_windows(self):
+        rec = MetricsRecorder()
+        rec.count("x")
+        rec.reset()
+        snap = rec.snapshot()
+        assert snap["windows"]["1m"]["counters"] == {}
+        assert snap["gauge_age_seconds"] == {}
+
+    def test_events_feed_window_counters(self):
+        rec = MetricsRecorder()
+        rec.event("pool_died", "detail")
+        snap = rec.snapshot()
+        assert snap["windows"]["1m"]["counters"]["events.pool_died"] == 1
