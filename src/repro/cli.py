@@ -143,7 +143,16 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_members(value: str) -> tuple:
+    """Split a ``--methods`` list: comma-separated registered members."""
+    return tuple(part.strip() for part in value.split(",") if part.strip())
+
+
 def _config_from_args(args: argparse.Namespace) -> MDZConfig:
+    extra = {}
+    members = getattr(args, "methods", None)
+    if members:
+        extra["adp_members"] = members
     return MDZConfig(
         error_bound=args.error_bound,
         error_bound_mode=args.bound_mode,
@@ -153,6 +162,7 @@ def _config_from_args(args: argparse.Namespace) -> MDZConfig:
         quantization_scale=args.scale,
         entropy_streams=getattr(args, "entropy_streams", None),
         audit_interval=getattr(args, "audit_interval", 32),
+        **extra,
     )
 
 
@@ -469,7 +479,10 @@ def _cmd_info(args: argparse.Namespace) -> int:
         "  error bounds: "
         + ", ".join(f"{b:.3e}" for b in info.error_bounds)
     )
-    print(f"  method={info.method} sequence={info.sequence}")
+    line = f"  method={info.method} sequence={info.sequence}"
+    if info.members is not None:
+        line += f" members={','.join(info.members)}"
+    print(line)
     print(f"  buffers={info.n_buffers} payload={info.payload_bytes / 1e3:.1f} KB")
     for axis, methods in enumerate(info.methods_per_axis):
         summary = ", ".join(f"{m}x{c}" for m, c in sorted(methods.items()))
@@ -636,7 +649,17 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--buffer-size", type=int, default=10)
         p.add_argument(
-            "--method", choices=("adp", "vq", "vqt", "mt"), default="adp"
+            "--method",
+            choices=("adp", "vq", "vqt", "mt", "interp", "bitadaptive"),
+            default="adp",
+        )
+        p.add_argument(
+            "--methods",
+            type=_parse_members,
+            default=None,
+            metavar="M1,M2,...",
+            help="ADP candidate pool (comma-separated registered members; "
+            "default vq,vqt,mt; only meaningful with --method adp)",
         )
         p.add_argument("--sequence", choices=("seq1", "seq2"), default="seq2")
         p.add_argument("--scale", type=int, default=1024)
@@ -702,7 +725,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("--buffer-size", type=int, default=10)
     stats.add_argument(
-        "--method", choices=("adp", "vq", "vqt", "mt"), default="adp"
+        "--method",
+        choices=("adp", "vq", "vqt", "mt", "interp", "bitadaptive"),
+        default="adp",
+    )
+    stats.add_argument(
+        "--methods",
+        type=_parse_members,
+        default=None,
+        metavar="M1,M2,...",
+        help="ADP candidate pool (comma-separated registered members)",
     )
     stats.add_argument("--sequence", choices=("seq1", "seq2"), default="seq2")
     stats.add_argument("--scale", type=int, default=1024)
@@ -764,7 +796,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("--buffer-size", type=int, default=10)
     trace.add_argument(
-        "--method", choices=("adp", "vq", "vqt", "mt"), default="adp"
+        "--method",
+        choices=("adp", "vq", "vqt", "mt", "interp", "bitadaptive"),
+        default="adp",
+    )
+    trace.add_argument(
+        "--methods",
+        type=_parse_members,
+        default=None,
+        metavar="M1,M2,...",
+        help="ADP candidate pool (comma-separated registered members)",
     )
     trace.add_argument("--sequence", choices=("seq1", "seq2"), default="seq2")
     trace.add_argument("--scale", type=int, default=1024)

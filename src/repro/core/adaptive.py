@@ -36,9 +36,7 @@ import numpy as np
 from ..sz.lossless import lossless_compress
 from ..telemetry import get_recorder
 from .methods import MDZMethod, MethodState
-from .mt import MTMethod
-from .vq import VQMethod
-from .vqt import VQTMethod
+from .registry import DEFAULT_MEMBERS, get_method, validate_members
 
 #: Candidates whose predicted final size is within this fraction of the
 #: best prediction are fully encoded and compared exactly.  Generous on
@@ -68,14 +66,18 @@ class SelectionRecord:
 
 @dataclass
 class ADPSelector:
-    """Periodic three-way trial; keeps the winning method between trials."""
+    """Periodic multi-way trial; keeps the winning method between trials.
+
+    The candidate pool is configurable (``members``): any subset of the
+    registered methods (:func:`repro.core.registry.method_names`), so
+    new registry members — ``interp``, ``bitadaptive`` — join the trial
+    by name with no selector changes.  The default pool is the paper's
+    three-way VQ/VQT/MT trial.
+    """
 
     interval: int = 50
-    methods: dict[str, MDZMethod] = field(
-        default_factory=lambda: {
-            m.name: m for m in (VQMethod(), VQTMethod(), MTMethod())
-        }
-    )
+    members: tuple[str, ...] = DEFAULT_MEMBERS
+    methods: dict[str, MDZMethod] | None = None
     current: str | None = None
     buffers_seen: int = 0
     history: list[SelectionRecord] = field(default_factory=list)
@@ -89,6 +91,15 @@ class ADPSelector:
     #: Exact-trial cadence (after the two session-opening exact trials).
     exact_refresh: int = EXACT_REFRESH
 
+    def __post_init__(self) -> None:
+        if self.methods is None:
+            self.methods = {
+                name: get_method(name)
+                for name in validate_members(self.members)
+            }
+        else:
+            self.members = tuple(self.methods)
+
     def _note_ratio(self, name: str, estimate: int, final: int) -> None:
         prev_final, prev_est = self.ratio_stats.get(name, (0, 0))
         self.ratio_stats[name] = (prev_final + final, prev_est + estimate)
@@ -100,7 +111,7 @@ class ADPSelector:
         return max(1, int(round(estimate * (total_final / total_est))))
 
     def trial_due(self) -> bool:
-        """True when the next buffer must run a three-way trial.
+        """True when the next buffer must run a multi-way trial.
 
         Trials run at the session start, at every `interval`, and once at
         buffer 1: the first buffer biases MT (its reference does not
@@ -124,7 +135,7 @@ class ADPSelector:
         if self.trial_due():
             raise RuntimeError(
                 "cannot encode a trial buffer externally: the selector "
-                "must run the three-way trial in-session"
+                "must run the multi-way trial in-session"
             )
         self.buffers_seen += 1
         return self.current

@@ -1,0 +1,43 @@
+"""Bitadaptive: per-region bit-depth member (registry id 5).
+
+The second new member added through the stage registry, and the proof
+that the registry made members cheap: it *is* :class:`~repro.core.mt.
+MTMethod` — same reference-head + time-wise-tail prediction — with the
+entropy backend swapped from the global Huffman codebook to the
+per-region bit-adaptive packer (:mod:`repro.sz.bitpack`, following the
+particle-compression approach of arXiv 2404.02826).  One attribute
+override; prediction, state handling, ADP trial sizing, and streaming
+dispatch are all inherited.
+
+Where it wins: mixtures of regimes.  A single Huffman codebook over a
+buffer whose regions have different residual spreads pays ~1 bit per
+symbol just to say which regime a symbol came from; the per-region
+``(offset, width)`` table amortizes that over 4096 values, and a quiet
+region of constant codes costs zero payload bits.
+"""
+
+from __future__ import annotations
+
+from .mt import MTMethod
+from .registry import register_method
+
+
+class BitAdaptiveMethod(MTMethod):
+    """MT prediction with per-region bit-adaptive serialization."""
+
+    name = "bitadaptive"
+    encoder_name = "bitpack"
+
+
+register_method(
+    "bitadaptive",
+    BitAdaptiveMethod,
+    needs_reference=True,
+    predictors=("reference", "lorenzo1d", "timewise"),
+    encoder="bitpack",
+    description=(
+        "MT prediction with per-region (offset, bit-width) fixed "
+        "packing instead of Huffman; wins when local code ranges differ "
+        "across a buffer (arXiv 2404.02826)"
+    ),
+)

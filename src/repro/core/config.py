@@ -12,8 +12,15 @@ from dataclasses import dataclass, field
 
 from ..exceptions import ConfigurationError
 
-#: Method names accepted by :attr:`MDZConfig.method`.
-METHODS = ("adp", "vq", "vqt", "mt")
+#: Method names accepted by :attr:`MDZConfig.method`: ``"adp"`` plus
+#: every registered member (wire-id order; see
+#: :func:`repro.core.registry.method_names`).
+METHODS = ("adp", "vq", "vqt", "mt", "interp", "bitadaptive")
+
+#: Default ADP candidate pool (the paper's three-way trial).  Mirrors
+#: :data:`repro.core.registry.DEFAULT_MEMBERS`; kept literal here so
+#: importing the config module stays dependency-light.
+DEFAULT_ADP_MEMBERS = ("vq", "vqt", "mt")
 
 #: Error-bound interpretation modes.
 ERROR_BOUND_MODES = ("value_range", "absolute")
@@ -42,7 +49,13 @@ class MDZConfig:
     sequence_mode:
         ``"seq2"`` (particle-major, default) or ``"seq1"`` (Table III).
     method:
-        ``"adp"`` (default) or a fixed method ``"vq"``/``"vqt"``/``"mt"``.
+        ``"adp"`` (default) or a fixed registered member — ``"vq"``,
+        ``"vqt"``, ``"mt"``, ``"interp"``, or ``"bitadaptive"``.
+    adp_members:
+        The candidate pool ADP trials choose from (ignored for fixed
+        methods).  Defaults to the paper's three-way VQ/VQT/MT trial;
+        any registered member may be listed (``docs/stages.md``).  The
+        container/stream header records a non-default pool.
     adaptation_interval:
         Buffers between ADP re-evaluations (the paper: every 50
         compression operations).
@@ -70,6 +83,7 @@ class MDZConfig:
     quantization_scale: int = 1024
     sequence_mode: str = "seq2"
     method: str = "adp"
+    adp_members: tuple = DEFAULT_ADP_MEMBERS
     adaptation_interval: int = 50
     lossless_backend: str = "zlib"
     level_seed: int = 0
@@ -112,6 +126,11 @@ class MDZConfig:
             raise ConfigurationError(
                 f"method must be one of {METHODS}, got {self.method!r}"
             )
+        self.adp_members = tuple(self.adp_members)
+        if self.method == "adp":
+            from .registry import validate_members
+
+            validate_members(self.adp_members)
         if self.adaptation_interval < 1:
             raise ConfigurationError(
                 f"adaptation_interval must be >= 1, got {self.adaptation_interval}"

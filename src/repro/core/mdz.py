@@ -25,11 +25,7 @@ from .adaptive import ADPSelector
 from .config import MDZConfig
 from .levels import SessionLevelModel
 from .methods import METHOD_IDS, METHOD_NAMES, MethodState
-from .mt import MTMethod
-from .vq import VQMethod
-from .vqt import VQTMethod
-
-_METHOD_OBJECTS = {"vq": VQMethod(), "vqt": VQTMethod(), "mt": MTMethod()}
+from .registry import get_method, method_entry
 
 
 class MDZAxisCompressor(Compressor):
@@ -50,7 +46,10 @@ class MDZAxisCompressor(Compressor):
         self.name = (
             "mdz" if self.config.method == "adp" else f"mdz-{self.config.method}"
         )
-        self.supports_random_access = self.config.method == "vq"
+        # Buffer-isolated members decode any buffer without replaying
+        # the session (VQ by design, interp because its cascade roots
+        # are Lorenzo-bootstrapped per buffer).
+        self.supports_random_access = self.config.method in ("vq", "interp")
         self._state: MethodState | None = None
         self._selector: ADPSelector | None = None
 
@@ -74,7 +73,10 @@ class MDZAxisCompressor(Compressor):
             lossless_backend=self.config.lossless_backend,
             entropy_streams=self.config.entropy_streams,
         )
-        self._selector = ADPSelector(interval=self.config.adaptation_interval)
+        self._selector = ADPSelector(
+            interval=self.config.adaptation_interval,
+            members=self.config.adp_members,
+        )
 
     @property
     def selection_history(self):
@@ -96,7 +98,7 @@ class MDZAxisCompressor(Compressor):
                 name, payload, recon = self._selector.encode(batch, state)
             else:
                 name = self.config.method
-                payload, recon = _METHOD_OBJECTS[name].encode(batch, state)
+                payload, recon = get_method(name).encode(batch, state)
             if state.reference is None:
                 state.reference = recon[0].copy()
             writer = BlobWriter()
@@ -131,7 +133,7 @@ class MDZAxisCompressor(Compressor):
                 raise DecompressionError(
                     f"unknown MDZ method id {method_id}"
                 ) from None
-            out = _METHOD_OBJECTS[name].decode(reader.read_bytes(), state)
+            out = get_method(name).decode(reader.read_bytes(), state)
             if state.reference is None:
                 state.reference = out[0].copy()
         return out
@@ -174,8 +176,9 @@ class MDZAxisCompressor(Compressor):
         """The frozen state for out-of-session encoding with ``method``,
         plus its identity digest: ``(reference, level_fit, digest)``.
 
-        ``reference`` is included only for MT — the one method that reads
-        it — so VQ/VQT state stays a few hundred bytes.  ``digest`` is a
+        ``reference`` is included only for members whose registry entry
+        sets ``needs_reference`` (MT and bitadaptive — the ones that
+        read it), so VQ/VQT/interp state stays a few hundred bytes.  ``digest`` is a
         BLAKE2b hash over every input that shapes the encoded bytes: the
         method, the session configuration (bound, quantizer scale,
         sequence mode, lossless backend, level seed, entropy fan-out,
@@ -187,7 +190,8 @@ class MDZAxisCompressor(Compressor):
         import hashlib
 
         state = self._require_state()
-        reference = state.reference if method == "mt" else None
+        needs_reference = method_entry(method).needs_reference
+        reference = state.reference if needs_reference else None
         fit = state.levels.fit
         h = hashlib.blake2b(digest_size=16)
         h.update(
@@ -299,3 +303,10 @@ register_compressor(
     "mdz-vqt", lambda: MDZAxisCompressor(MDZConfig(method="vqt"))
 )
 register_compressor("mdz-mt", lambda: MDZAxisCompressor(MDZConfig(method="mt")))
+register_compressor(
+    "mdz-interp", lambda: MDZAxisCompressor(MDZConfig(method="interp"))
+)
+register_compressor(
+    "mdz-bitadaptive",
+    lambda: MDZAxisCompressor(MDZConfig(method="bitadaptive")),
+)

@@ -22,8 +22,12 @@ import numpy as np
 from ..sz.quantizer import LinearQuantizer
 from .levels import SessionLevelModel
 
-#: Wire ids of the methods (stored per batch in the container).
-METHOD_IDS = {"vq": 1, "vqt": 2, "mt": 3}
+#: Wire ids of the methods (stored per batch in the container).  This is
+#: the single source of truth for the container format: a member cannot
+#: be registered (:func:`repro.core.registry.register_method`) without a
+#: reserved id here, and ids are never reused — see
+#: ``docs/formats.md#method-payloads``.
+METHOD_IDS = {"vq": 1, "vqt": 2, "mt": 3, "interp": 4, "bitadaptive": 5}
 METHOD_NAMES = {v: k for k, v in METHOD_IDS.items()}
 
 

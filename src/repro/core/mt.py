@@ -21,11 +21,6 @@ import numpy as np
 
 from ..exceptions import DecompressionError
 from ..serde import BlobReader, BlobWriter
-from ..sz.pipeline import (
-    decode_int_stream,
-    encode_int_stream,
-    estimate_int_stream_bytes,
-)
 from ..sz.predictors import (
     lorenzo_1d_encode,
     lorenzo_1d_reconstruct,
@@ -36,6 +31,7 @@ from ..sz.predictors import (
 )
 from ..sz.quantizer import QuantizedBlock
 from .methods import MDZMethod, MethodState
+from .registry import register_method
 
 
 @dataclass
@@ -51,9 +47,24 @@ class MTPrepared:
 
 
 class MTMethod(MDZMethod):
-    """Initial-snapshot head + time-based tail within each buffer."""
+    """Initial-snapshot head + time-based tail within each buffer.
+
+    The entropy backend is resolved by name from the encoder-stage
+    registry, so a subclass swaps its whole serialization by overriding
+    :attr:`encoder_name` (see :class:`repro.core.bitadaptive`).  The
+    default resolves to the exact :mod:`repro.sz.pipeline` functions the
+    pre-registry code called, so MT archives are byte-identical.
+    """
 
     name = "mt"
+    #: Encoder-stage registry key (``repro.core.registry.ENCODERS``).
+    encoder_name = "huffman-int-stream"
+
+    def _encoder(self):
+        from .registry import ENCODERS, ensure_members
+
+        ensure_members()
+        return ENCODERS.create(self.encoder_name)
 
     def prepare(self, batch, state: MethodState, shared=None):
         bootstrap = state.reference is None
@@ -85,6 +96,7 @@ class MTMethod(MDZMethod):
         )
 
     def serialize(self, prepared: MTPrepared, state: MethodState):
+        encoder = self._encoder()
         writer = BlobWriter()
         writer.write_json(
             {"shape": list(prepared.shape), "bootstrap": prepared.bootstrap}
@@ -92,7 +104,7 @@ class MTMethod(MDZMethod):
         if prepared.bootstrap:
             writer.write_json({"anchor": prepared.anchor})
         writer.write_bytes(
-            encode_int_stream(
+            encoder.encode(
                 prepared.head,
                 "C",
                 alphabet_hint=state.quantizer.scale + 1,
@@ -101,7 +113,7 @@ class MTMethod(MDZMethod):
         )
         if prepared.tail is not None:
             writer.write_bytes(
-                encode_int_stream(
+                encoder.encode(
                     prepared.tail,
                     state.layout,
                     alphabet_hint=state.quantizer.scale + 1,
@@ -111,14 +123,15 @@ class MTMethod(MDZMethod):
         return writer.getvalue()
 
     def estimate(self, prepared: MTPrepared, state: MethodState):
-        total = 48 + estimate_int_stream_bytes(
+        encoder = self._encoder()
+        total = 48 + encoder.estimate(
             prepared.head,
             "C",
             alphabet_hint=state.quantizer.scale + 1,
             streams=state.entropy_streams,
         )
         if prepared.tail is not None:
-            total += estimate_int_stream_bytes(
+            total += encoder.estimate(
                 prepared.tail,
                 state.layout,
                 alphabet_hint=state.quantizer.scale + 1,
@@ -130,13 +143,14 @@ class MTMethod(MDZMethod):
         return prepared.recon
 
     def decode(self, blob, state: MethodState):
+        encoder = self._encoder()
         reader = BlobReader(blob)
         meta = reader.read_json()
         shape = tuple(int(x) for x in meta["shape"])
         out = np.empty(shape, dtype=np.float64)
         if bool(meta["bootstrap"]):
             anchor = float(reader.read_json()["anchor"])
-            block = decode_int_stream(reader.read_bytes())
+            block = encoder.decode(reader.read_bytes())
             out[0] = lorenzo_1d_reconstruct(block, state.quantizer, anchor)
         else:
             if state.reference is None:
@@ -144,11 +158,25 @@ class MTMethod(MDZMethod):
                     "MT buffer requires the session reference snapshot; "
                     "decode buffers in order"
                 )
-            block = decode_int_stream(reader.read_bytes())
+            block = encoder.decode(reader.read_bytes())
             out[0] = reference_reconstruct(
                 block, state.quantizer, state.reference
             )
         if shape[0] > 1:
-            tail = decode_int_stream(reader.read_bytes())
+            tail = encoder.decode(reader.read_bytes())
             out[1:] = timewise_reconstruct(tail, state.quantizer, out[0])
         return out
+
+
+register_method(
+    "mt",
+    MTMethod,
+    needs_reference=True,
+    predictors=("reference", "lorenzo1d", "timewise"),
+    encoder="huffman-int-stream",
+    description=(
+        "Multi-level time-based: buffer head predicted from the session "
+        "reference snapshot (Lorenzo bootstrap for the first buffer), "
+        "tail chained time-wise (Section VI-B)"
+    ),
+)

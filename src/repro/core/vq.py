@@ -29,6 +29,7 @@ from ..sz.pipeline import (
 )
 from ..sz.quantizer import QuantizedBlock
 from .methods import MDZMethod, MethodState
+from .registry import register_method
 
 
 @dataclass
@@ -254,3 +255,14 @@ class VQMethod(MDZMethod):
 
     def decode(self, blob, state):
         return vq_decode_array(blob, state)
+register_method(
+    "vq",
+    VQMethod,
+    predictors=("level",),
+    encoder="huffman-int-stream",
+    description=(
+        "Vector-quantization: every point predicted by its nearest "
+        "crystal-level centroid; buffers decode in isolation "
+        "(Algorithm 1)"
+    ),
+)

@@ -24,6 +24,7 @@ from ..sz.predictors import timewise_encode, timewise_reconstruct
 from ..sz.quantizer import QuantizedBlock
 from ..telemetry import get_recorder
 from .methods import MDZMethod, MethodState
+from .registry import register_method
 from .vq import (
     VQPrepared,
     vq_estimate_bytes,
@@ -112,3 +113,13 @@ class VQTMethod(MDZMethod):
             block = decode_int_stream(reader.read_bytes())
             out[1:] = timewise_reconstruct(block, state.quantizer, out[0])
         return out
+register_method(
+    "vqt",
+    VQTMethod,
+    predictors=("level", "timewise"),
+    encoder="huffman-int-stream",
+    description=(
+        "VQ head + time-based tail: spatial levels pay for the buffer "
+        "head, temporal smoothness for the rest (Section VI-A)"
+    ),
+)

@@ -36,6 +36,7 @@ import numpy as np
 from ..baselines.api import SessionMeta
 from ..core.config import MDZConfig
 from ..core.mdz import MDZAxisCompressor
+from ..core.registry import DEFAULT_MEMBERS
 from ..telemetry import QualityAuditor
 from ..exceptions import (
     CompressionError,
@@ -135,20 +136,24 @@ def write_container(positions: np.ndarray, config: MDZConfig) -> bytes:
             blobs.append(blob)
     writer = BlobWriter()
     writer.write_bytes(MAGIC)
-    writer.write_json(
-        {
-            "snapshots": t_count,
-            "atoms": n_atoms,
-            "axes": n_axes,
-            "dtype": np.asarray(positions).dtype.str,
-            "buffer_size": bs,
-            "error_bounds": bounds,
-            "scale": config.quantization_scale,
-            "sequence": config.sequence_mode,
-            "method": config.method,
-            "lossless": config.lossless_backend,
-        }
-    )
+    header = {
+        "snapshots": t_count,
+        "atoms": n_atoms,
+        "axes": n_axes,
+        "dtype": np.asarray(positions).dtype.str,
+        "buffer_size": bs,
+        "error_bounds": bounds,
+        "scale": config.quantization_scale,
+        "sequence": config.sequence_mode,
+        "method": config.method,
+        "lossless": config.lossless_backend,
+    }
+    # A non-default ADP pool is recorded for provenance (`mdz info`);
+    # the key is omitted for the default pool so legacy archives stay
+    # byte-identical (pinned by tools/legacy_digests.py).
+    if config.method == "adp" and config.adp_members != DEFAULT_MEMBERS:
+        header["members"] = list(config.adp_members)
+    writer.write_json(header)
     payload = b"".join(blobs)
     writer.write_json(
         {
@@ -197,6 +202,9 @@ def _open_container(blob: bytes):
 
 
 def _config_from_header(header: dict) -> MDZConfig:
+    extra = {}
+    if "members" in header:
+        extra["adp_members"] = tuple(header["members"])
     return MDZConfig(
         error_bound=1.0e-3,  # per-axis absolute bounds travel separately
         buffer_size=int(header["buffer_size"]),
@@ -204,6 +212,7 @@ def _config_from_header(header: dict) -> MDZConfig:
         sequence_mode=str(header["sequence"]),
         method=str(header["method"]),
         lossless_backend=str(header["lossless"]),
+        **extra,
     )
 
 
@@ -257,6 +266,9 @@ class ContainerInfo:
     n_buffers: int
     payload_bytes: int
     methods_per_axis: tuple[dict[str, int], ...]
+    #: The recorded ADP candidate pool; ``None`` for fixed-method
+    #: archives and legacy default-pool archives (which omit the key).
+    members: tuple[str, ...] | None = None
 
 
 def read_container_info(blob: bytes) -> ContainerInfo:
@@ -291,6 +303,11 @@ def read_container_info(blob: bytes) -> ContainerInfo:
         n_buffers=n_buffers,
         payload_bytes=len(payload),
         methods_per_axis=tuple(methods),
+        members=(
+            tuple(str(m) for m in header["members"])
+            if "members" in header
+            else None
+        ),
     )
 
 

@@ -78,6 +78,7 @@ def compress_fields(
             quantization_scale=base.quantization_scale,
             sequence_mode=base.sequence_mode,
             method=base.method,
+            adp_members=base.adp_members,
             adaptation_interval=base.adaptation_interval,
             lossless_backend=base.lossless_backend,
             level_seed=base.level_seed,

@@ -49,6 +49,9 @@ _CONFIG_FIELDS = {
     "quantization_scale": int,
     "sequence_mode": str,
     "method": str,
+    "adp_members": lambda v: tuple(
+        part.strip() for part in v.split(",") if part.strip()
+    ) if isinstance(v, str) else tuple(str(m) for m in v),
     "lossless_backend": str,
     "level_seed": int,
     "entropy_streams": int,

@@ -223,9 +223,9 @@ class AxisJobSpec:
 
     The spec is the frozen session state exported by
     :meth:`~repro.core.mdz.MDZAxisCompressor.export_session_state` plus
-    the session configuration.  ``reference`` is shipped only for MT (the
-    one method that reads it), keeping per-job pickling cost low for
-    VQ/VQT.
+    the session configuration.  ``reference`` is shipped only for
+    members whose registry entry sets ``needs_reference`` (MT,
+    bitadaptive), keeping per-job pickling cost low for the rest.
 
     ``state_digest`` is the BLAKE2b digest of that frozen state: workers
     cache the rebuilt session under it, so a spec whose digest the worker
@@ -288,7 +288,8 @@ class FlushJobSpec:
 # shapes the encoded bytes (see export_session_state), so a cache hit is
 # byte-identical to a rebuild by construction, and the methods never
 # mutate the frozen state after seeding — VQ/VQT read the cached level
-# fit, MT reads the reference — so reuse across jobs is safe.
+# fit, MT/bitadaptive read the reference — so reuse across jobs is
+# safe.
 
 _SESSION_CACHE_MAX = 8
 _SESSIONS: "OrderedDict[str, MDZAxisCompressor]" = OrderedDict()

@@ -236,6 +236,9 @@ class StreamingReader:
     # -- decoding -------------------------------------------------------
 
     def _sessions(self) -> list[MDZAxisCompressor]:
+        extra = {}
+        if "members" in self._layout.header:
+            extra["adp_members"] = tuple(self._layout.header["members"])
         config = MDZConfig(
             error_bound=1.0,  # absolute per-axis bounds travel in begin()
             error_bound_mode="absolute",
@@ -244,6 +247,7 @@ class StreamingReader:
             sequence_mode=self.sequence,
             method=self.method,
             lossless_backend=str(self._layout.header["lossless"]),
+            **extra,
         )
         sessions = []
         for bound in self.error_bounds:
@@ -447,4 +451,9 @@ class StreamingReader:
             n_buffers=self._n_complete,
             payload_bytes=payload_bytes,
             methods_per_axis=tuple(methods),
+            members=(
+                tuple(str(m) for m in self._layout.header["members"])
+                if "members" in self._layout.header
+                else None
+            ),
         )

@@ -51,6 +51,7 @@ import numpy as np
 from ..baselines.api import SessionMeta
 from ..core.config import MDZConfig
 from ..core.mdz import MDZAxisCompressor
+from ..core.registry import DEFAULT_MEMBERS
 from ..exceptions import CompressionError
 from ..telemetry import QualityAuditor, get_recorder
 from . import format as fmt
@@ -343,20 +344,25 @@ class StreamingWriter:
             session.begin(bound, SessionMeta(n_atoms=n_atoms))
             self._bounds.append(bound)
             self._sessions.append(session)
+        header = {
+            "atoms": n_atoms,
+            "axes": n_axes,
+            "buffer_size": self.config.buffer_size,
+            "error_bounds": self._bounds,
+            "scale": self.config.quantization_scale,
+            "sequence": self.config.sequence_mode,
+            "method": self.config.method,
+            "lossless": self.config.lossless_backend,
+        }
+        # Same rule as io/container.py: only a non-default ADP pool is
+        # recorded, so default streams stay byte-identical to the seed.
+        if (
+            self.config.method == "adp"
+            and self.config.adp_members != DEFAULT_MEMBERS
+        ):
+            header["members"] = list(self.config.adp_members)
         self._offset += fmt.write_magic(self._fh)
-        self._offset += fmt.write_header(
-            self._fh,
-            {
-                "atoms": n_atoms,
-                "axes": n_axes,
-                "buffer_size": self.config.buffer_size,
-                "error_bounds": self._bounds,
-                "scale": self.config.quantization_scale,
-                "sequence": self.config.sequence_mode,
-                "method": self.config.method,
-                "lossless": self.config.lossless_backend,
-            },
-        )
+        self._offset += fmt.write_header(self._fh, header)
 
     def _flush(self) -> None:
         recorder = get_recorder()
@@ -444,8 +450,8 @@ class StreamingWriter:
             lossless_backend=self.config.lossless_backend,
             level_seed=self.config.level_seed,
             # State ships through the published segment when available;
-            # only MT reads the reference, so it is None otherwise
-            # (export_session_state already applies that rule).
+            # the reference is None unless the method's registry entry
+            # needs it (export_session_state already applies that rule).
             reference=None if handle is not None else reference,
             level_fit=None if handle is not None else level_fit,
             entropy_streams=self.config.entropy_streams,

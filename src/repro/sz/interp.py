@@ -34,7 +34,7 @@ from .predictors import lorenzo_1d_codes, lorenzo_1d_reconstruct
 from .quantizer import DEFAULT_SCALE, LinearQuantizer
 
 
-def _level_plan(t_count: int) -> list[tuple[int, np.ndarray, bool]]:
+def level_plan(t_count: int) -> list[tuple[int, np.ndarray, bool]]:
     """The interpolation cascade: [(stride, indices, is_anchor), ...].
 
     Index 0 is the root; every other index appears in exactly one level.
@@ -63,7 +63,7 @@ def _level_plan(t_count: int) -> list[tuple[int, np.ndarray, bool]]:
     return plan
 
 
-def _interpolate(
+def interpolate(
     recon: np.ndarray, idx: np.ndarray, stride: int, order: str, is_anchor: bool
 ) -> np.ndarray:
     """Predictions for snapshots ``idx`` from reconstructed neighbours."""
@@ -88,6 +88,28 @@ def _interpolate(
     cubic = (-far_left + 9.0 * left + 9.0 * right - far_right) / 16.0
     linear = 0.5 * (left + right)
     return np.where(cubic_ok[:, None], cubic, linear)
+
+
+def reconstruct_level(block, pred, quantizer) -> np.ndarray:
+    """Apply a level's decoded residual block on top of its predictions.
+
+    Out-of-scope points (marker codes) are restored from the absolute
+    varint side channel, anchored at 0.0 — the same convention the
+    encoder used when it quantized them with ``grid_levels(batch, 0.0)``.
+    """
+    values = pred + block.codes * quantizer.bin_width
+    mask = block.codes == block.marker
+    n_mask = int(mask.sum())
+    if n_mask != block.wide.size:
+        raise DecompressionError(
+            "interp out-of-scope mismatch "
+            f"({n_mask} markers vs {block.wide.size} literals)"
+        )
+    if n_mask:
+        values_t = values.T
+        values_t[mask.T] = quantizer.dequantize_levels(block.wide, 0.0)
+        values = values_t.T
+    return values
 
 
 class SZInterpCompressor(Compressor):
@@ -130,8 +152,8 @@ class SZInterpCompressor(Compressor):
                                              alphabet_hint=self.scale + 1))
         recon = np.zeros_like(batch)
         recon[0] = lorenzo_1d_reconstruct(root, quantizer, anchor)
-        for stride, idx, is_anchor in _level_plan(t_count):
-            pred = _interpolate(recon, idx, stride, order, is_anchor)
+        for stride, idx, is_anchor in level_plan(t_count):
+            pred = interpolate(recon, idx, stride, order, is_anchor)
             codes = np.rint((batch[idx] - pred) / quantizer.bin_width).astype(
                 np.int64
             )
@@ -140,9 +162,7 @@ class SZInterpCompressor(Compressor):
             writer.write_bytes(
                 encode_int_stream(block, "F", alphabet_hint=self.scale + 1)
             )
-            recon[idx] = self._reconstruct_level(
-                block, pred, quantizer
-            )
+            recon[idx] = reconstruct_level(block, pred, quantizer)
         return writer.getvalue()
 
     def _decode(self, payload: bytes, order: str) -> np.ndarray:
@@ -154,27 +174,11 @@ class SZInterpCompressor(Compressor):
         root = decode_int_stream(reader.read_bytes())
         recon = np.zeros((t_count, n))
         recon[0] = lorenzo_1d_reconstruct(root, quantizer, anchor)
-        for stride, idx, is_anchor in _level_plan(t_count):
+        for stride, idx, is_anchor in level_plan(t_count):
             block = decode_int_stream(reader.read_bytes())
-            pred = _interpolate(recon, idx, stride, order, is_anchor)
-            recon[idx] = self._reconstruct_level(block, pred, quantizer)
+            pred = interpolate(recon, idx, stride, order, is_anchor)
+            recon[idx] = reconstruct_level(block, pred, quantizer)
         return recon
-
-    @staticmethod
-    def _reconstruct_level(block, pred, quantizer) -> np.ndarray:
-        values = pred + block.codes * quantizer.bin_width
-        mask = block.codes == block.marker
-        n_mask = int(mask.sum())
-        if n_mask != block.wide.size:
-            raise DecompressionError(
-                "sz-interp out-of-scope mismatch "
-                f"({n_mask} markers vs {block.wide.size} literals)"
-            )
-        if n_mask:
-            values_t = values.T
-            values_t[mask.T] = quantizer.dequantize_levels(block.wide, 0.0)
-            values = values_t.T
-        return values
 
 
 register_compressor("sz-interp", SZInterpCompressor)

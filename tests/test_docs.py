@@ -16,6 +16,7 @@ sys.path.insert(0, str(REPO_ROOT / "tools"))
 
 import check_docs_links  # noqa: E402
 import list_metrics  # noqa: E402
+import list_stages  # noqa: E402
 
 
 def test_repo_docs_have_no_broken_references():
@@ -31,6 +32,24 @@ def test_metrics_reference_is_in_sync():
     assert path.read_text() == expected, (
         "docs/metrics.md is stale; run `python tools/list_metrics.py`"
     )
+
+
+def test_stages_reference_is_in_sync():
+    """The registry tables in docs/stages.md must match the registries."""
+    path = REPO_ROOT / "docs" / "stages.md"
+    assert path.exists(), "docs/stages.md missing"
+    current = path.read_text()
+    assert current == list_stages.render(current), (
+        "docs/stages.md registry tables are stale; "
+        "run `python tools/list_stages.py`"
+    )
+
+
+def test_stages_tables_list_every_member():
+    """Each registered member appears as a row of the generated block."""
+    block = list_stages.generate_block()
+    for name in ("vq", "vqt", "mt", "interp", "bitadaptive"):
+        assert f"| `{name}` |" in block
 
 
 def test_metrics_scan_sees_the_core_instruments():

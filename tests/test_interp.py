@@ -6,14 +6,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines.api import SessionMeta
-from repro.sz.interp import SZInterpCompressor, _interpolate, _level_plan
+from repro.sz.interp import SZInterpCompressor, interpolate, level_plan
 
 
 class TestLevelPlan:
     @pytest.mark.parametrize("t", [1, 2, 3, 4, 7, 8, 16, 33, 100, 257])
     def test_covers_every_index_once(self, t):
         covered = sorted(
-            int(i) for _, idx, _ in _level_plan(t) for i in idx
+            int(i) for _, idx, _ in level_plan(t) for i in idx
         )
         assert covered == list(range(1, t))
 
@@ -21,7 +21,7 @@ class TestLevelPlan:
         """Any index's neighbours are decoded in an earlier level."""
         t = 37
         decoded = {0}
-        for stride, idx, is_anchor in _level_plan(t):
+        for stride, idx, is_anchor in level_plan(t):
             for i in idx.tolist():
                 assert i - stride in decoded, (i, stride)
                 if not is_anchor and i + stride < t:
@@ -29,28 +29,28 @@ class TestLevelPlan:
             decoded.update(int(i) for i in idx)
 
     def test_trivial_lengths(self):
-        assert _level_plan(0) == []
-        assert _level_plan(1) == []
+        assert level_plan(0) == []
+        assert level_plan(1) == []
 
 
 class TestInterpolate:
     def test_linear_midpoint(self):
         recon = np.array([[0.0, 0.0], [0.0, 0.0], [4.0, 2.0]])
-        pred = _interpolate(recon, np.array([1]), 1, "linear", False)
+        pred = interpolate(recon, np.array([1]), 1, "linear", False)
         assert np.allclose(pred, [[2.0, 1.0]])
 
     def test_cubic_reduces_to_linear_at_borders(self):
         recon = np.zeros((8, 3))
         recon[6] = 6.0
-        pred_lin = _interpolate(recon, np.array([3]), 3, "linear", False)
-        pred_cub = _interpolate(recon, np.array([3]), 3, "cubic", False)
+        pred_lin = interpolate(recon, np.array([3]), 3, "linear", False)
+        pred_cub = interpolate(recon, np.array([3]), 3, "cubic", False)
         # no anchors at -3*3 / +3*3: cubic must fall back to linear
         assert np.allclose(pred_cub, pred_lin)
 
     def test_anchor_prediction_uses_previous(self):
         recon = np.zeros((10, 2))
         recon[4] = 7.0
-        pred = _interpolate(recon, np.array([8]), 4, "linear", True)
+        pred = interpolate(recon, np.array([8]), 4, "linear", True)
         assert np.allclose(pred, [[7.0, 7.0]])
 
 
